@@ -1,0 +1,163 @@
+package mosaic_test
+
+import (
+	"strings"
+	"testing"
+
+	mosaic "repro"
+)
+
+func fastCfg() mosaic.Config {
+	cfg := mosaic.FastTestConfig()
+	cfg.MaxWarpInstructions = 64
+	return cfg
+}
+
+func TestPublicAPISuite(t *testing.T) {
+	suite := mosaic.Suite()
+	if len(suite) != 27 {
+		t.Fatalf("Suite() has %d apps, want 27", len(suite))
+	}
+	if _, err := mosaic.AppByName(suite[0].Name); err != nil {
+		t.Error(err)
+	}
+	if _, err := mosaic.AppByName("nonexistent"); err == nil {
+		t.Error("unknown app accepted")
+	}
+}
+
+func TestPublicAPIWorkloadBuilders(t *testing.T) {
+	if got := len(mosaic.Homogeneous(3)); got != 27 {
+		t.Errorf("Homogeneous(3) = %d workloads", got)
+	}
+	if got := len(mosaic.Heterogeneous(2, 5, 1)); got != 5 {
+		t.Errorf("Heterogeneous = %d workloads", got)
+	}
+	wl, err := mosaic.Pair("HS", "CONS")
+	if err != nil || wl.Name != "HS-CONS" {
+		t.Errorf("Pair = %+v, %v", wl, err)
+	}
+}
+
+func TestPublicAPIRun(t *testing.T) {
+	wl, err := mosaic.Pair("SCP", "NN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mosaic.Run(fastCfg(), wl, mosaic.SimOptions{Policy: mosaic.Mosaic, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Policy != "Mosaic" || len(res.Apps) != 2 {
+		t.Errorf("results = %s, %d apps", res.Policy, len(res.Apps))
+	}
+	if res.Cycles == 0 || res.TotalIPC() <= 0 {
+		t.Errorf("cycles=%d ipc=%f", res.Cycles, res.TotalIPC())
+	}
+	if res.TranslationFaults != 0 {
+		t.Errorf("%d translation faults", res.TranslationFaults)
+	}
+}
+
+func TestPublicAPIRunRejectsBadInput(t *testing.T) {
+	if _, err := mosaic.Run(fastCfg(), mosaic.Workload{}, mosaic.SimOptions{}); err == nil {
+		t.Error("empty workload accepted")
+	}
+	bad := fastCfg()
+	bad.NumSMs = 0
+	wl, _ := mosaic.Pair("SCP", "NN")
+	if _, err := mosaic.Run(bad, wl, mosaic.SimOptions{}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestPublicAPIManagerMutation(t *testing.T) {
+	wl, _ := mosaic.Pair("SCP", "NN")
+	res, err := mosaic.Run(fastCfg(), wl, mosaic.SimOptions{
+		Policy: mosaic.Mosaic,
+		Seed:   2,
+		MutateManager: func(o *mosaic.ManagerOptions) {
+			o.CAC = mosaic.CACIdeal
+			o.Coalesce = mosaic.CoalesceInPlace
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Manager.Coalesces == 0 {
+		t.Error("mutated manager did not coalesce")
+	}
+}
+
+func TestPublicAPIConfigs(t *testing.T) {
+	for name, cfg := range map[string]mosaic.Config{
+		"Default":  mosaic.DefaultConfig(),
+		"Eval":     mosaic.EvalConfig(),
+		"FastTest": mosaic.FastTestConfig(),
+	} {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s config invalid: %v", name, err)
+		}
+	}
+	if mosaic.DefaultConfig().NumSMs != 30 {
+		t.Error("Default config is not Table 1")
+	}
+}
+
+func TestPublicAPIQuickHarness(t *testing.T) {
+	cfg := fastCfg()
+	h := mosaic.NewQuickHarness(cfg)
+	h.AppNames = []string{"SCP"}
+	r := h.Fig3()
+	if len(r.Apps) != 1 {
+		t.Fatalf("harness ran %d apps", len(r.Apps))
+	}
+	if r.Norm4K[0] <= 0 {
+		t.Error("non-positive normalized performance")
+	}
+}
+
+func TestPolicyDeterminismAcrossRuns(t *testing.T) {
+	wl, _ := mosaic.Pair("HS", "SCP")
+	opt := mosaic.SimOptions{Policy: mosaic.GPUMMU4K, Seed: 42}
+	r1, err := mosaic.Run(fastCfg(), wl, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := mosaic.Run(fastCfg(), wl, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cycles != r2.Cycles || r1.L1TLBHits != r2.L1TLBHits {
+		t.Error("public API runs are not deterministic")
+	}
+}
+
+func TestPublicAPIReplay(t *testing.T) {
+	offsets := make([]uint64, 2048)
+	for i := range offsets {
+		offsets[i] = uint64(i%512) * 4096
+	}
+	spec, err := mosaic.ReplaySpec("mytrace", offsets, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := mosaic.Workload{Name: "replay", Apps: []mosaic.AppSpec{spec}}
+	res, err := mosaic.Run(fastCfg(), wl, mosaic.SimOptions{Policy: mosaic.Mosaic, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Apps[0].Completed {
+		t.Error("replay app incomplete")
+	}
+	if res.TranslationFaults != 0 {
+		t.Errorf("%d translation faults replaying trace", res.TranslationFaults)
+	}
+}
+
+func TestPublicAPILoadOffsets(t *testing.T) {
+	offs, err := mosaic.LoadOffsetsJSON(strings.NewReader("[1, 2, 3]"))
+	if err != nil || len(offs) != 3 {
+		t.Errorf("offsets = %v, %v", offs, err)
+	}
+}

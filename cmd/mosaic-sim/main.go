@@ -1,0 +1,156 @@
+// Command mosaic-sim runs one multi-application workload on the simulated
+// GPU under a chosen memory manager and prints detailed results.
+//
+// Examples:
+//
+//	mosaic-sim -apps HS,CONS -policy mosaic
+//	mosaic-sim -apps NW -policy gpummu-2mb -nopaging
+//	mosaic-sim -apps BFS2,SCAN,RED -policy all -scale 32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	mosaic "repro"
+)
+
+func main() {
+	var (
+		apps     = flag.String("apps", "HS,CONS", "comma-separated application names (see -list)")
+		policy   = flag.String("policy", "mosaic", "memory manager: gpummu | gpummu-2mb | mosaic | ideal | all")
+		scale    = flag.Int("scale", 0, "working-set scale divisor (0 = config default)")
+		seed     = flag.Int64("seed", 42, "deterministic seed")
+		nopaging = flag.Bool("nopaging", false, "disable demand paging (all data resident)")
+		frag     = flag.Float64("frag", 0, "pre-fragmentation index [0,1] (§6.4 stress)")
+		fragOcc  = flag.Float64("frag-occupancy", 0.5, "pre-fragmented frame occupancy [0,1]")
+		dealloc  = flag.Float64("dealloc", 0, "fraction of a scratch buffer freed mid-run (exercises CAC)")
+		traceOut = flag.String("trace", "", "write a JSON event trace to this file")
+		list     = flag.Bool("list", false, "list the 27 suite applications and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-6s %-8s %10s %8s %8s\n", "name", "pattern", "workingset", "cpm", "diverg")
+		for _, s := range mosaic.Suite() {
+			fmt.Printf("%-6s %-8s %8dMB %8d %8d\n",
+				s.Name, s.Pattern, s.WorkingSetBytes>>20, s.ComputePerMem, s.Divergence)
+		}
+		return
+	}
+
+	cfg := mosaic.EvalConfig()
+	if *scale > 0 {
+		cfg.WorkloadScale = *scale
+	}
+	if *nopaging {
+		cfg.IOBusEnabled = false
+	}
+
+	var specs []mosaic.AppSpec
+	for _, name := range strings.Split(*apps, ",") {
+		s, err := mosaic.AppByName(strings.TrimSpace(name))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		specs = append(specs, s)
+	}
+	wl := mosaic.Workload{Name: *apps, Apps: specs}
+
+	policies, err := parsePolicies(*policy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	traceLimit := 0
+	if *traceOut != "" {
+		traceLimit = 1 << 20
+	}
+	for _, p := range policies {
+		res, err := mosaic.Run(cfg, wl, mosaic.SimOptions{
+			Policy:          p,
+			Seed:            *seed,
+			FragIndex:       *frag,
+			FragOccupancy:   *fragOcc,
+			DeallocFraction: *dealloc,
+			TraceLimit:      traceLimit,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		report(res)
+		if *traceOut != "" && res.Trace != nil {
+			if err := writeTrace(*traceOut, res); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+// writeTrace dumps the run's event trace as JSON (one file per policy
+// when several run: the policy name is appended).
+func writeTrace(path string, res mosaic.Results) error {
+	f, err := os.Create(path + "." + res.Policy + ".json")
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := res.Trace.WriteJSON(f); err != nil {
+		return err
+	}
+	sum := mosaic.SummarizeTrace(res.Trace.Events())
+	fmt.Printf("trace: %d events (%d dropped) -> %s; walks avg %.0f cyc, faults avg %.0f cyc\n",
+		res.Trace.Len(), res.Trace.Dropped(), f.Name(), sum.AvgWalkLat, sum.AvgFaultLat)
+	return nil
+}
+
+func parsePolicies(s string) ([]mosaic.Policy, error) {
+	switch s {
+	case "gpummu":
+		return []mosaic.Policy{mosaic.GPUMMU4K}, nil
+	case "gpummu-2mb":
+		return []mosaic.Policy{mosaic.GPUMMU2M}, nil
+	case "mosaic":
+		return []mosaic.Policy{mosaic.Mosaic}, nil
+	case "ideal":
+		return []mosaic.Policy{mosaic.IdealTLB}, nil
+	case "all":
+		return []mosaic.Policy{mosaic.GPUMMU4K, mosaic.GPUMMU2M, mosaic.Mosaic, mosaic.IdealTLB}, nil
+	}
+	return nil, fmt.Errorf("unknown policy %q", s)
+}
+
+func report(r mosaic.Results) {
+	fmt.Printf("=== %s on %s ===\n", r.Policy, r.Workload)
+	fmt.Printf("cycles: %d   total IPC: %.3f\n", r.Cycles, r.TotalIPC())
+	for _, a := range r.Apps {
+		status := "completed"
+		if !a.Completed {
+			status = "TIMED OUT"
+		}
+		fmt.Printf("  app %d %-6s  IPC %.3f  instrs %d  finish @%d  bloat %.1f%%  (%s)\n",
+			a.ASID, a.Name, a.IPC, a.Instructions, a.FinishCycle, a.BloatPct, status)
+	}
+	fmt.Printf("TLB: L1 %.1f%%  L2 %.1f%%  | walks %d (avg %.0f cyc)  walk faults %d\n",
+		r.L1TLBHitRate()*100, r.L2TLBHitRate()*100,
+		r.Walker.Walks, r.Walker.AvgLatency(), r.TranslationFaults)
+	fmt.Printf("manager: coalesces %d  splinters %d  compactions %d  migrated %d  far-faults %d\n",
+		r.Manager.Coalesces, r.Manager.Splinters, r.Manager.Compactions,
+		r.Manager.MigratedPages, r.Manager.FarFaults)
+	fmt.Printf("I/O bus: 4KB transfers %d  2MB transfers %d  busy %d cyc  queue delay %d cyc\n",
+		r.Bus.BaseTransfers, r.Bus.LargeTransfers, r.Bus.BusyCycles, r.Bus.TotalQueueDelay)
+	fmt.Printf("DRAM: accesses %d  row hits %.1f%%\n\n",
+		r.DRAM.Accesses, pct(r.DRAM.RowHits, r.DRAM.Accesses))
+}
+
+func pct(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b) * 100
+}

@@ -1,0 +1,126 @@
+// Command mosaic-sweep sweeps one hardware parameter across a range of
+// values and reports each memory manager's throughput — a generalization
+// of the paper's Figure 14/15 sensitivity studies to any knob.
+//
+// Examples:
+//
+//	mosaic-sweep -dim l1base -values 16,32,64,128,256 -apps NW,NW
+//	mosaic-sweep -dim walker -values 8,16,32,64,128 -apps GUPS
+//	mosaic-sweep -dim pwc -values 0,32,64,128 -apps NW -policies gpummu
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	mosaic "repro"
+	"repro/internal/metrics"
+)
+
+// dimensions maps sweep names to config mutators.
+var dimensions = map[string]struct {
+	desc  string
+	apply func(*mosaic.Config, int)
+}{
+	"l1base":  {"per-SM L1 TLB base-page entries", func(c *mosaic.Config, v int) { c.L1TLBBaseEntries = v }},
+	"l1large": {"per-SM L1 TLB large-page entries", func(c *mosaic.Config, v int) { c.L1TLBLargeEntries = v }},
+	"l2base": {"shared L2 TLB base-page entries", func(c *mosaic.Config, v int) {
+		c.L2TLBBaseEntries = v
+		if v < c.L2TLBBaseWays {
+			c.L2TLBBaseWays = v
+		}
+	}},
+	"l2large": {"shared L2 TLB large-page entries", func(c *mosaic.Config, v int) { c.L2TLBLargeEntries = v }},
+	"walker":  {"page table walker concurrency", func(c *mosaic.Config, v int) { c.WalkerConcurrency = v }},
+	"warps":   {"warps per SM", func(c *mosaic.Config, v int) { c.WarpsPerSM = v }},
+	"scale":   {"working-set scale divisor", func(c *mosaic.Config, v int) { c.WorkloadScale = v }},
+	"pwc":     {"page-walk cache entries (0 = off)", func(c *mosaic.Config, v int) { c.PageWalkCacheEntries = v }},
+}
+
+func main() {
+	var (
+		dim      = flag.String("dim", "l1base", "dimension to sweep (see -dims)")
+		values   = flag.String("values", "16,64,128,256", "comma-separated values")
+		apps     = flag.String("apps", "NW,NW", "comma-separated application names")
+		policies = flag.String("policies", "gpummu,mosaic,ideal", "managers to compare")
+		seed     = flag.Int64("seed", 42, "deterministic seed")
+		nopaging = flag.Bool("nopaging", false, "disable demand paging")
+		listDims = flag.Bool("dims", false, "list sweepable dimensions and exit")
+	)
+	flag.Parse()
+
+	if *listDims {
+		for name, d := range dimensions {
+			fmt.Printf("%-8s %s\n", name, d.desc)
+		}
+		return
+	}
+	d, ok := dimensions[*dim]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown dimension %q (see -dims)\n", *dim)
+		os.Exit(1)
+	}
+
+	var specs []mosaic.AppSpec
+	for _, name := range strings.Split(*apps, ",") {
+		s, err := mosaic.AppByName(strings.TrimSpace(name))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		specs = append(specs, s)
+	}
+	wl := mosaic.Workload{Name: *apps, Apps: specs}
+
+	var pols []mosaic.Policy
+	var polNames []string
+	for _, p := range strings.Split(*policies, ",") {
+		switch strings.TrimSpace(p) {
+		case "gpummu":
+			pols = append(pols, mosaic.GPUMMU4K)
+		case "gpummu-2mb":
+			pols = append(pols, mosaic.GPUMMU2M)
+		case "mosaic":
+			pols = append(pols, mosaic.Mosaic)
+		case "ideal":
+			pols = append(pols, mosaic.IdealTLB)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown policy %q\n", p)
+			os.Exit(1)
+		}
+		polNames = append(polNames, pols[len(pols)-1].String())
+	}
+
+	tbl := metrics.Table{
+		Title:   fmt.Sprintf("sweep of %s (%s) — total IPC", *dim, d.desc),
+		Columns: append([]string{*dim}, polNames...),
+	}
+	for _, vs := range strings.Split(*values, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(vs))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		cfg := mosaic.EvalConfig()
+		if *nopaging {
+			cfg.IOBusEnabled = false
+		}
+		d.apply(&cfg, v)
+		row := []float64{}
+		for _, p := range pols {
+			res, err := mosaic.Run(cfg, wl, mosaic.SimOptions{Policy: p, Seed: *seed})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			row = append(row, res.TotalIPC())
+		}
+		tbl.AddRowF(vs, row...)
+	}
+	tbl.Render(os.Stdout)
+	c := metrics.ChartFromTable(tbl)
+	c.Render(os.Stdout)
+}

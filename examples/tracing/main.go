@@ -1,0 +1,72 @@
+// Tracing: record every memory-management event of a run — far-faults,
+// page walks, coalesces, splinters, compactions — and summarize when each
+// mechanism fired. The same trace can be exported as JSON
+// (Results.Trace.WriteJSON) for external analysis.
+//
+//	go run ./examples/tracing
+package main
+
+import (
+	"fmt"
+	"log"
+
+	mosaic "repro"
+)
+
+func main() {
+	cfg := mosaic.EvalConfig()
+	app, err := mosaic.AppByName("HISTO")
+	if err != nil {
+		log.Fatal(err)
+	}
+	wl := mosaic.Workload{Name: "HISTO", Apps: []mosaic.AppSpec{app}}
+
+	res, err := mosaic.Run(cfg, wl, mosaic.SimOptions{
+		Policy:          mosaic.Mosaic,
+		Seed:            7,
+		DeallocFraction: 0.8, // mid-run frees so CAC shows up in the trace
+		TraceLimit:      1 << 20,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	events := res.Trace.Events()
+	sum := mosaic.SummarizeTrace(events)
+	fmt.Printf("run: %d cycles, %d recorded events (%d dropped)\n\n",
+		res.Cycles, res.Trace.Len(), res.Trace.Dropped())
+	fmt.Println("event counts:")
+	for _, kind := range []string{"alloc", "coalesce", "far-fault", "walk", "free", "splinter", "compaction", "migration"} {
+		if n := sum.Counts[kind]; n > 0 {
+			fmt.Printf("  %-10s %8d\n", kind, n)
+		}
+	}
+	fmt.Printf("\naverage page-walk latency:  %8.0f cycles\n", sum.AvgWalkLat)
+	fmt.Printf("average far-fault latency:  %8.0f cycles\n", sum.AvgFaultLat)
+	fmt.Printf("bytes allocated / freed:    %d / %d\n\n", sum.BytesAlloced, sum.BytesFreed)
+
+	// When did demand paging happen? Bucket far-faults into tenths of the
+	// run: GPGPU faults cluster at first touch and fade as pages arrive.
+	fmt.Println("far-fault activity over time (one row per tenth of the run):")
+	bucket := res.Cycles/10 + 1
+	counts := map[uint64]uint64{}
+	for _, ev := range events {
+		if ev.Kind.String() == "far-fault" {
+			counts[ev.Cycle/bucket]++
+		}
+	}
+	var max uint64 = 1
+	for _, n := range counts {
+		if n > max {
+			max = n
+		}
+	}
+	for i := uint64(0); i < 10; i++ {
+		bar := int(counts[i] * 40 / max)
+		fmt.Printf("  %3d%% |", i*10)
+		for j := 0; j < bar; j++ {
+			fmt.Print("#")
+		}
+		fmt.Printf(" %d\n", counts[i])
+	}
+}

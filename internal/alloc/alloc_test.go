@@ -1,0 +1,366 @@
+package alloc
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vmem"
+)
+
+func newPool(t *testing.T, frames int) *Pool {
+	t.Helper()
+	p, err := NewPool(0, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewPoolValidation(t *testing.T) {
+	if _, err := NewPool(4096, 4); err == nil {
+		t.Error("misaligned base accepted")
+	}
+	if _, err := NewPool(0, 0); err == nil {
+		t.Error("zero frames accepted")
+	}
+}
+
+func TestAddrRefRoundTrip(t *testing.T) {
+	p := newPool(t, 8)
+	prop := func(f, s uint16) bool {
+		ref := PageRef{int(f) % 8, int(s) % vmem.BasePagesPerLarge}
+		got, ok := p.RefOf(p.Addr(ref))
+		return ok && got == ref
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+	if _, ok := p.RefOf(vmem.PhysAddr(8 * vmem.LargePageSize)); ok {
+		t.Error("RefOf accepted out-of-pool address")
+	}
+}
+
+func TestAllocFreeSlot(t *testing.T) {
+	p := newPool(t, 2)
+	ref := PageRef{0, 5}
+	if err := p.AllocSlot(ref, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	if p.Frame(0).Owner != 1 || p.Frame(0).Count != 1 {
+		t.Errorf("frame state = %+v", p.Frame(0))
+	}
+	if err := p.AllocSlot(ref, 1, false); err == nil {
+		t.Error("double alloc accepted")
+	}
+	// Wrong owner without force.
+	if err := p.AllocSlot(PageRef{0, 6}, 2, false); err == nil {
+		t.Error("cross-owner alloc accepted without force")
+	}
+	// With force.
+	if err := p.AllocSlot(PageRef{0, 6}, 2, true); err != nil {
+		t.Errorf("forced cross-owner alloc rejected: %v", err)
+	}
+	if err := p.FreeSlot(ref); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.FreeSlot(ref); err == nil {
+		t.Error("double free accepted")
+	}
+	// Frame still owned: slot 6 allocated.
+	if p.Frame(0).Owner == NoOwner {
+		t.Error("ownership reset while pages remain")
+	}
+	if err := p.FreeSlot(PageRef{0, 6}); err != nil {
+		t.Fatal(err)
+	}
+	if p.Frame(0).Owner != NoOwner {
+		t.Error("ownership not reset when frame emptied")
+	}
+}
+
+func TestBaselineInterleavesApplications(t *testing.T) {
+	p := newPool(t, 4)
+	b := NewBaseline(p)
+	// Alternate allocations from two apps: they land in the same frame.
+	a1, err := b.AllocBase(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := b.AllocBase(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.LargeFrameBase() != a2.LargeFrameBase() {
+		t.Error("baseline should interleave apps within one large frame")
+	}
+	if b.Stats().Violations != 1 {
+		t.Errorf("Violations = %d, want 1", b.Stats().Violations)
+	}
+}
+
+func TestBaselineExhaustion(t *testing.T) {
+	p := newPool(t, 1)
+	b := NewBaseline(p)
+	for i := 0; i < vmem.BasePagesPerLarge; i++ {
+		if _, err := b.AllocBase(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := b.AllocBase(1); !errors.Is(err, ErrNoMemory) {
+		t.Errorf("err = %v, want ErrNoMemory", err)
+	}
+}
+
+func TestBaselineFreeAndReuse(t *testing.T) {
+	p := newPool(t, 1)
+	b := NewBaseline(p)
+	pa, _ := b.AllocBase(1)
+	if err := b.Free(pa); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Free(pa); err == nil {
+		t.Error("double free accepted")
+	}
+	if _, err := b.AllocBase(2); err != nil {
+		t.Errorf("reuse after free failed: %v", err)
+	}
+}
+
+func TestCoCoARegionAllocation(t *testing.T) {
+	p := newPool(t, 4)
+	c := NewCoCoA(p)
+	pa, err := c.AllocRegion(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pa.IsLargeAligned() {
+		t.Errorf("region at %v not large-aligned", pa)
+	}
+	ref, _ := p.RefOf(pa)
+	f := p.Frame(ref.Frame)
+	if f.Count != vmem.BasePagesPerLarge || f.Owner != 1 {
+		t.Errorf("frame state = count %d owner %d", f.Count, f.Owner)
+	}
+	if c.FreeFrameCount() != 3 {
+		t.Errorf("free frames = %d, want 3", c.FreeFrameCount())
+	}
+}
+
+func TestCoCoASoftGuarantee(t *testing.T) {
+	p := newPool(t, 4)
+	c := NewCoCoA(p)
+	// Interleave base allocations from two apps; frames must never mix.
+	for i := 0; i < 100; i++ {
+		if _, err := c.AllocBase(1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.AllocBase(2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	owned := p.OwnedFrames()
+	if owned[1] == 0 || owned[2] == 0 {
+		t.Fatalf("owned = %v", owned)
+	}
+	for i := 0; i < p.NumFrames(); i++ {
+		f := p.Frame(i)
+		if f.Owner == NoOwner {
+			continue
+		}
+		// All allocated pages in this frame belong to the single owner by
+		// construction (AllocSlot without force enforces it); just assert
+		// no violations were recorded.
+	}
+	if c.Stats().Violations != 0 {
+		t.Errorf("soft guarantee violated %d times", c.Stats().Violations)
+	}
+}
+
+func TestCoCoABaseAllocContiguityWithinFrame(t *testing.T) {
+	p := newPool(t, 2)
+	c := NewCoCoA(p)
+	first, err := c.AllocBase(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := c.AllocBase(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.LargeFrameBase() != second.LargeFrameBase() {
+		t.Error("successive base allocs should fill one frame before starting another")
+	}
+}
+
+func TestCoCoAExhaustionAndScavenge(t *testing.T) {
+	p := newPool(t, 2)
+	c := NewCoCoA(p)
+	if _, err := c.AllocRegion(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AllocRegion(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AllocRegion(1); !errors.Is(err, ErrNoFreeFrames) {
+		t.Error("expected ErrNoFreeFrames")
+	}
+	if _, err := c.AllocBase(1); !errors.Is(err, ErrNoFreeFrames) {
+		t.Error("expected ErrNoFreeFrames from AllocBase")
+	}
+	if _, err := c.AllocScavenge(1); !errors.Is(err, ErrNoMemory) {
+		t.Error("scavenge of full pool should report ErrNoMemory")
+	}
+}
+
+func TestCoCoAScavengeBreaksSoftGuarantee(t *testing.T) {
+	p := newPool(t, 1)
+	c := NewCoCoA(p)
+	if _, err := c.AllocBase(1); err != nil { // frame now owned by app 1
+		t.Fatal(err)
+	}
+	pa, err := c.AllocScavenge(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa.LargeFrameBase() != 0 {
+		t.Errorf("scavenged page at %v", pa)
+	}
+	if c.Stats().Violations != 1 {
+		t.Errorf("Violations = %d, want 1", c.Stats().Violations)
+	}
+}
+
+func TestCoCoAFreeReturnsFrameToFreeList(t *testing.T) {
+	p := newPool(t, 1)
+	c := NewCoCoA(p)
+	pa, _ := c.AllocBase(1)
+	if c.FreeFrameCount() != 0 {
+		t.Fatal("frame should be claimed")
+	}
+	if err := c.Free(pa); err != nil {
+		t.Fatal(err)
+	}
+	if c.FreeFrameCount() != 1 {
+		t.Errorf("free frames = %d, want 1", c.FreeFrameCount())
+	}
+	// The frame is reusable by another app; stale free-base refs for app 1
+	// must not leak into app 2's allocations.
+	if _, err := c.AllocRegion(2); err != nil {
+		t.Errorf("region alloc after frame recycle failed: %v", err)
+	}
+	if _, err := c.AllocBase(1); !errors.Is(err, ErrNoFreeFrames) {
+		t.Error("app 1 should be out of frames; stale refs must not serve")
+	}
+}
+
+func TestCoCoAFreedPageReusedBySameApp(t *testing.T) {
+	p := newPool(t, 1)
+	c := NewCoCoA(p)
+	a, _ := c.AllocBase(1)
+	b, _ := c.AllocBase(1)
+	_ = b
+	if err := c.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.AllocBase(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != a {
+		// Not required to be identical, but it must come from the same frame.
+		if got.LargeFrameBase() != a.LargeFrameBase() {
+			t.Error("freed page's frame not reused")
+		}
+	}
+}
+
+func TestPreFragment(t *testing.T) {
+	p := newPool(t, 100)
+	rng := rand.New(rand.NewSource(1))
+	p.PreFragment(rng, 0.5, 0.25)
+	if got := p.FragmentedFrames(); got != 50 {
+		t.Errorf("fragmented frames = %d, want 50", got)
+	}
+	wantPages := uint64(50 * 128) // 25% of 512
+	if got := p.AllocatedBasePages(); got != wantPages {
+		t.Errorf("allocated pages = %d, want %d", got, wantPages)
+	}
+	// CoCoA built on a pre-fragmented pool must exclude fragged frames.
+	c := NewCoCoA(p)
+	if c.FreeFrameCount() != 50 {
+		t.Errorf("free frames = %d, want 50", c.FreeFrameCount())
+	}
+}
+
+func TestReturnFrame(t *testing.T) {
+	p := newPool(t, 1)
+	c := NewCoCoA(p)
+	if _, err := c.AllocRegion(1); err != nil {
+		t.Fatal(err)
+	}
+	// Manually free all slots at pool level (as CAC would), then return.
+	for s := 0; s < vmem.BasePagesPerLarge; s++ {
+		if err := p.FreeSlot(PageRef{0, s}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.ReturnFrame(0)
+	if _, err := c.AllocRegion(2); err != nil {
+		t.Errorf("region alloc after ReturnFrame failed: %v", err)
+	}
+}
+
+// Property: under arbitrary interleaved CoCoA alloc/free sequences from 3
+// apps, no frame ever holds pages from two apps (soft guarantee) and
+// counts stay consistent.
+func TestCoCoAInvariantProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p, _ := NewPool(0, 6)
+		c := NewCoCoA(p)
+		live := map[vmem.ASID][]vmem.PhysAddr{}
+		for op := 0; op < 400; op++ {
+			asid := vmem.ASID(rng.Intn(3) + 1)
+			if rng.Intn(3) > 0 || len(live[asid]) == 0 {
+				pa, err := c.AllocBase(asid)
+				if errors.Is(err, ErrNoFreeFrames) {
+					continue
+				}
+				if err != nil {
+					return false
+				}
+				live[asid] = append(live[asid], pa)
+			} else {
+				l := live[asid]
+				i := rng.Intn(len(l))
+				if err := c.Free(l[i]); err != nil {
+					return false
+				}
+				live[asid] = append(l[:i], l[i+1:]...)
+			}
+		}
+		if c.Stats().Violations != 0 {
+			return false
+		}
+		// Every live page's frame must be owned by its app.
+		for asid, pages := range live {
+			for _, pa := range pages {
+				ref, ok := p.RefOf(pa)
+				if !ok || p.Frame(ref.Frame).Owner != asid || !p.Frame(ref.Frame).Allocated(ref.Slot) {
+					return false
+				}
+			}
+		}
+		// Pool-level count equals the number of live pages.
+		var total uint64
+		for _, pages := range live {
+			total += uint64(len(pages))
+		}
+		return p.AllocatedBasePages() == total
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

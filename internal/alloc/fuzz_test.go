@@ -1,0 +1,75 @@
+package alloc
+
+import (
+	"testing"
+
+	"repro/internal/vmem"
+)
+
+// FuzzCoCoAOps drives CoCoA with an arbitrary operation tape from two
+// applications and checks that pool accounting and the soft guarantee
+// hold throughout (no scavenge path is exercised here).
+func FuzzCoCoAOps(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 0, 1, 2})
+	f.Add([]byte{0, 0, 0, 0, 3, 3, 3, 3})
+	f.Add([]byte{2, 2, 2, 1, 1, 1, 0})
+
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		pool, err := NewPool(0, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := NewCoCoA(pool)
+		live := map[vmem.ASID][]vmem.PhysAddr{}
+		var regionPages uint64
+
+		for _, op := range tape {
+			asid := vmem.ASID(op%2) + 1
+			switch op % 4 {
+			case 0, 1: // base alloc
+				pa, err := c.AllocBase(asid)
+				if err != nil {
+					continue // pool pressure is fine
+				}
+				live[asid] = append(live[asid], pa)
+			case 2: // free one page
+				l := live[asid]
+				if len(l) == 0 {
+					continue
+				}
+				pa := l[len(l)-1]
+				live[asid] = l[:len(l)-1]
+				if err := c.Free(pa); err != nil {
+					t.Fatalf("free of live page failed: %v", err)
+				}
+			case 3: // whole-region alloc
+				if _, err := c.AllocRegion(asid); err == nil {
+					regionPages += vmem.BasePagesPerLarge
+				}
+			}
+		}
+
+		var liveCount uint64
+		for asid, pages := range live {
+			liveCount += uint64(len(pages))
+			for _, pa := range pages {
+				ref, ok := pool.RefOf(pa)
+				if !ok {
+					t.Fatalf("live page %v outside pool", pa)
+				}
+				if !pool.Frame(ref.Frame).Allocated(ref.Slot) {
+					t.Fatalf("live page %v not allocated in pool", pa)
+				}
+				if owner := pool.Frame(ref.Frame).Owner; owner != asid {
+					t.Fatalf("page of app %d in frame owned by %d", asid, owner)
+				}
+			}
+		}
+		if got := pool.AllocatedBasePages(); got != liveCount+regionPages {
+			t.Fatalf("pool has %d pages, model %d", got, liveCount+regionPages)
+		}
+		if c.Stats().Violations != 0 {
+			t.Fatal("soft guarantee violated without scavenging")
+		}
+	})
+}

@@ -1,0 +1,220 @@
+// Package alloc manages physical GPU memory frames. It provides the frame
+// pool (large-frame-granularity ownership plus per-frame bitmaps of base
+// frames) and the two allocation policies the paper compares:
+//
+//   - Baseline: the state-of-the-art GPU-MMU allocator (Fig. 1a), which
+//     hands out base frames sequentially from a shared cursor so that a
+//     single large page frame ends up holding base pages from multiple
+//     applications — making migration-free coalescing impossible.
+//   - CoCoA: Mosaic's Contiguity-Conserving Allocation (§4.2), which keeps
+//     a free-frame list and per-application free-base-page lists, provides
+//     the soft guarantee that a large frame holds pages of only one
+//     application, and allocates aligned 2MB virtual regions to whole
+//     large frames so they coalesce with no data movement.
+package alloc
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/vmem"
+)
+
+// NoOwner marks a large frame not yet assigned to any protection domain.
+const NoOwner = ^vmem.ASID(0)
+
+// FragOwner marks pre-fragmented data planted by the §6.4 stress tests:
+// it violates the soft guarantee by construction and is never coalescible.
+const FragOwner = NoOwner - 1
+
+// ErrNoMemory is returned when the pool has no base frame left to serve a
+// request (true out-of-memory).
+var ErrNoMemory = errors.New("alloc: out of physical memory")
+
+// ErrNoFreeFrames is returned by CoCoA when the free-frame list is empty
+// and the application has no partial frame to draw from; the manager is
+// expected to invoke CAC and retry (paper §4.4 failsafe).
+var ErrNoFreeFrames = errors.New("alloc: no free large frames")
+
+// PageRef names one base frame slot within one large frame.
+type PageRef struct {
+	Frame int // large frame index
+	Slot  int // base frame slot within it, [0, 512)
+}
+
+// Frame is the pool's view of one large page frame.
+type Frame struct {
+	Owner   vmem.ASID
+	bitmap  [vmem.BasePagesPerLarge / 64]uint64
+	Count   int  // allocated base frames
+	PreFrag bool // contains pre-fragmented stress data
+}
+
+// Allocated reports whether the given slot is allocated.
+func (f *Frame) Allocated(slot int) bool {
+	return f.bitmap[slot/64]&(1<<(slot%64)) != 0
+}
+
+func (f *Frame) set(slot int) {
+	f.bitmap[slot/64] |= 1 << (slot % 64)
+	f.Count++
+}
+
+func (f *Frame) clear(slot int) {
+	f.bitmap[slot/64] &^= 1 << (slot % 64)
+	f.Count--
+}
+
+// firstFree returns the lowest free slot, or -1 when full.
+func (f *Frame) firstFree() int {
+	for w, bits := range f.bitmap {
+		if bits != ^uint64(0) {
+			for b := 0; b < 64; b++ {
+				if bits&(1<<b) == 0 {
+					return w*64 + b
+				}
+			}
+		}
+	}
+	return -1
+}
+
+// Pool tracks every allocatable large frame of GPU physical memory.
+type Pool struct {
+	base   vmem.PhysAddr // address of frame 0 (large-aligned)
+	frames []Frame
+}
+
+// NewPool creates a pool of n large frames starting at base, which must be
+// large-page aligned.
+func NewPool(base vmem.PhysAddr, n int) (*Pool, error) {
+	if !base.IsLargeAligned() {
+		return nil, fmt.Errorf("alloc: pool base %v not large-aligned", base)
+	}
+	if n <= 0 {
+		return nil, errors.New("alloc: pool needs at least one frame")
+	}
+	p := &Pool{base: base, frames: make([]Frame, n)}
+	for i := range p.frames {
+		p.frames[i].Owner = NoOwner
+	}
+	return p, nil
+}
+
+// NumFrames returns the number of large frames managed.
+func (p *Pool) NumFrames() int { return len(p.frames) }
+
+// Frame returns frame i's state (read-only view).
+func (p *Pool) Frame(i int) *Frame { return &p.frames[i] }
+
+// Addr returns the physical address of a page reference.
+func (p *Pool) Addr(ref PageRef) vmem.PhysAddr {
+	return p.base +
+		vmem.PhysAddr(uint64(ref.Frame)*vmem.LargePageSize) +
+		vmem.PhysAddr(uint64(ref.Slot)*vmem.BasePageSize)
+}
+
+// FrameAddr returns the physical address of large frame i.
+func (p *Pool) FrameAddr(i int) vmem.PhysAddr {
+	return p.base + vmem.PhysAddr(uint64(i)*vmem.LargePageSize)
+}
+
+// RefOf inverts Addr. ok is false for addresses outside the pool.
+func (p *Pool) RefOf(pa vmem.PhysAddr) (PageRef, bool) {
+	if pa < p.base {
+		return PageRef{}, false
+	}
+	off := uint64(pa - p.base)
+	frame := int(off / vmem.LargePageSize)
+	if frame >= len(p.frames) {
+		return PageRef{}, false
+	}
+	slot := int(off % vmem.LargePageSize / vmem.BasePageSize)
+	return PageRef{frame, slot}, true
+}
+
+// AllocSlot marks one base frame allocated for asid. The frame must be
+// unowned or owned by asid unless force is set (the baseline allocator and
+// the CoCoA emergency path mix owners deliberately).
+func (p *Pool) AllocSlot(ref PageRef, asid vmem.ASID, force bool) error {
+	f := &p.frames[ref.Frame]
+	if f.Allocated(ref.Slot) {
+		return fmt.Errorf("alloc: slot %+v already allocated", ref)
+	}
+	if f.Owner == NoOwner {
+		f.Owner = asid
+	} else if f.Owner != asid && !force {
+		return fmt.Errorf("alloc: frame %d owned by %d, requested by %d", ref.Frame, f.Owner, asid)
+	}
+	f.set(ref.Slot)
+	return nil
+}
+
+// FreeSlot releases one base frame. When the frame empties completely its
+// ownership resets.
+func (p *Pool) FreeSlot(ref PageRef) error {
+	f := &p.frames[ref.Frame]
+	if !f.Allocated(ref.Slot) {
+		return fmt.Errorf("alloc: slot %+v not allocated", ref)
+	}
+	f.clear(ref.Slot)
+	if f.Count == 0 {
+		f.Owner = NoOwner
+		f.PreFrag = false
+	}
+	return nil
+}
+
+// AllocatedBasePages returns the total allocated base frames in the pool.
+func (p *Pool) AllocatedBasePages() uint64 {
+	var n uint64
+	for i := range p.frames {
+		n += uint64(p.frames[i].Count)
+	}
+	return n
+}
+
+// OwnedFrames returns how many large frames each domain currently owns.
+func (p *Pool) OwnedFrames() map[vmem.ASID]int {
+	m := make(map[vmem.ASID]int)
+	for i := range p.frames {
+		if p.frames[i].Owner != NoOwner {
+			m[p.frames[i].Owner]++
+		}
+	}
+	return m
+}
+
+// PreFragment plants stress data for the §6.4 experiments: a fraction
+// `index` of all large frames receives `occupancy`*512 allocated base
+// pages owned by FragOwner, placed randomly. Frames are chosen randomly
+// with rng. It must be called on a fresh pool.
+func (p *Pool) PreFragment(rng *rand.Rand, index, occupancy float64) {
+	nFrag := int(index * float64(len(p.frames)))
+	perm := rng.Perm(len(p.frames))
+	pagesPer := int(occupancy * vmem.BasePagesPerLarge)
+	if pagesPer < 1 && occupancy > 0 {
+		pagesPer = 1
+	}
+	for _, fi := range perm[:nFrag] {
+		f := &p.frames[fi]
+		f.Owner = FragOwner
+		f.PreFrag = true
+		slots := rng.Perm(vmem.BasePagesPerLarge)
+		for _, s := range slots[:pagesPer] {
+			f.set(s)
+		}
+	}
+}
+
+// FragmentedFrames counts frames still holding pre-fragmented data.
+func (p *Pool) FragmentedFrames() int {
+	n := 0
+	for i := range p.frames {
+		if p.frames[i].PreFrag {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,121 @@
+package config
+
+import "testing"
+
+func TestDefaultIsValid(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("Default() invalid: %v", err)
+	}
+}
+
+func TestFastTestIsValid(t *testing.T) {
+	if err := FastTest().Validate(); err != nil {
+		t.Fatalf("FastTest() invalid: %v", err)
+	}
+}
+
+func TestDefaultMatchesTable1(t *testing.T) {
+	c := Default()
+	if c.NumSMs != 30 {
+		t.Errorf("NumSMs = %d, want 30", c.NumSMs)
+	}
+	if c.CoreClockMHz != 1020 {
+		t.Errorf("CoreClockMHz = %d, want 1020", c.CoreClockMHz)
+	}
+	if c.L1TLBBaseEntries != 128 || c.L1TLBLargeEntries != 16 {
+		t.Errorf("L1 TLB = %d/%d, want 128/16", c.L1TLBBaseEntries, c.L1TLBLargeEntries)
+	}
+	if c.L2TLBBaseEntries != 512 || c.L2TLBLargeEntries != 256 {
+		t.Errorf("L2 TLB = %d/%d, want 512/256", c.L2TLBBaseEntries, c.L2TLBLargeEntries)
+	}
+	if c.L2TLBBaseWays != 16 {
+		t.Errorf("L2TLBBaseWays = %d, want 16", c.L2TLBBaseWays)
+	}
+	if c.WalkerConcurrency != 64 {
+		t.Errorf("WalkerConcurrency = %d, want 64", c.WalkerConcurrency)
+	}
+	if c.L2CacheBytes != 2<<20 {
+		t.Errorf("L2CacheBytes = %d, want 2MiB", c.L2CacheBytes)
+	}
+	if c.MemoryPartitons != 6 {
+		t.Errorf("MemoryPartitons = %d, want 6", c.MemoryPartitons)
+	}
+	if c.DRAMBanksPerChannel != 8 {
+		t.Errorf("DRAMBanksPerChannel = %d, want 8", c.DRAMBanksPerChannel)
+	}
+	if c.TotalDRAMBytes != 3<<30 {
+		t.Errorf("TotalDRAMBytes = %d, want 3GiB", c.TotalDRAMBytes)
+	}
+}
+
+func TestIOLatenciesMatchGTX1080Measurements(t *testing.T) {
+	c := Default()
+	// 55 us and 318 us at 1020 MHz.
+	if c.IOBaseFaultCycles != 55*1020 {
+		t.Errorf("IOBaseFaultCycles = %d, want %d", c.IOBaseFaultCycles, 55*1020)
+	}
+	if c.IOLargeFaultCycles != 318*1020 {
+		t.Errorf("IOLargeFaultCycles = %d, want %d", c.IOLargeFaultCycles, 318*1020)
+	}
+	// The paper reports the 2MB fault is ~6x the 4KB fault.
+	ratio := float64(c.IOLargeFaultCycles) / float64(c.IOBaseFaultCycles)
+	if ratio < 5.5 || ratio > 6.0 {
+		t.Errorf("large/base fault ratio = %.2f, want ~5.8", ratio)
+	}
+}
+
+func TestMicrosToCycles(t *testing.T) {
+	c := Default()
+	if got := c.MicrosToCycles(1); got != 1020 {
+		t.Errorf("MicrosToCycles(1) = %d, want 1020", got)
+	}
+	if got := c.MicrosToCycles(0); got != 0 {
+		t.Errorf("MicrosToCycles(0) = %d, want 0", got)
+	}
+}
+
+func TestWithoutDemandPaging(t *testing.T) {
+	c := Default()
+	nc := c.WithoutDemandPaging()
+	if nc.IOBusEnabled {
+		t.Error("WithoutDemandPaging left IOBusEnabled true")
+	}
+	if !c.IOBusEnabled {
+		t.Error("WithoutDemandPaging mutated the receiver")
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	mutations := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"zero SMs", func(c *Config) { c.NumSMs = 0 }},
+		{"zero clock", func(c *Config) { c.CoreClockMHz = 0 }},
+		{"zero warps", func(c *Config) { c.WarpsPerSM = 0 }},
+		{"zero warp width", func(c *Config) { c.WarpWidth = 0 }},
+		{"zero L1 TLB", func(c *Config) { c.L1TLBBaseEntries = 0 }},
+		{"zero L1 TLB large", func(c *Config) { c.L1TLBLargeEntries = 0 }},
+		{"zero L2 TLB", func(c *Config) { c.L2TLBBaseEntries = 0 }},
+		{"uneven L2 ways", func(c *Config) { c.L2TLBBaseWays = 7 }},
+		{"zero walker", func(c *Config) { c.WalkerConcurrency = 0 }},
+		{"bad levels", func(c *Config) { c.PageTableLevels = 3 }},
+		{"bad L1 cache", func(c *Config) { c.L1CacheBytes = 100 }},
+		{"bad L2 cache", func(c *Config) { c.L2CacheBytes = 100 }},
+		{"zero partitions", func(c *Config) { c.MemoryPartitons = 0 }},
+		{"zero banks", func(c *Config) { c.DRAMBanksPerChannel = 0 }},
+		{"row miss < hit", func(c *Config) { c.DRAMRowMissCycles = c.DRAMRowHitCycles - 1 }},
+		{"zero dram", func(c *Config) { c.TotalDRAMBytes = 0 }},
+		{"bad threshold", func(c *Config) { c.CACOccupancyThreshold = 1.5 }},
+		{"negative threshold", func(c *Config) { c.CACOccupancyThreshold = -0.1 }},
+		{"zero scale", func(c *Config) { c.WorkloadScale = 0 }},
+		{"zero max cycles", func(c *Config) { c.MaxCycles = 0 }},
+	}
+	for _, m := range mutations {
+		c := Default()
+		m.mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a bad config", m.name)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/config"
+)
+
+func TestOptionsForPresets(t *testing.T) {
+	cfg := config.Default()
+
+	o := OptionsFor(GPUMMU4K, cfg)
+	if o.Allocator != AllocBaseline || o.Coalesce != CoalesceOff ||
+		o.CAC != CACOff || o.Fault != FaultBase || o.Bypass {
+		t.Errorf("GPU-MMU preset = %+v", o)
+	}
+
+	o = OptionsFor(GPUMMU2M, cfg)
+	if o.Allocator != AllocCoCoA || o.Coalesce != CoalesceInPlace ||
+		o.Fault != FaultLarge || o.Bypass {
+		t.Errorf("GPU-MMU-2MB preset = %+v", o)
+	}
+
+	o = OptionsFor(Mosaic, cfg)
+	if o.Allocator != AllocCoCoA || o.Coalesce != CoalesceInPlace ||
+		o.CAC != CACOn || o.Fault != FaultBase || o.Bypass {
+		t.Errorf("Mosaic preset = %+v", o)
+	}
+	if o.CACThreshold != cfg.CACOccupancyThreshold {
+		t.Errorf("Mosaic threshold = %f", o.CACThreshold)
+	}
+
+	o = OptionsFor(IdealTLB, cfg)
+	if !o.Bypass || o.Allocator != AllocCoCoA || o.Fault != FaultBase {
+		t.Errorf("Ideal preset = %+v", o)
+	}
+
+	// The bulk-copy config knob selects CAC-BC for Mosaic.
+	cfg.CACUseBulkCopy = true
+	if o := OptionsFor(Mosaic, cfg); o.CAC != CACBulkCopy {
+		t.Errorf("CACUseBulkCopy ignored: %+v", o)
+	}
+}

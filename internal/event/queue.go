@@ -1,0 +1,76 @@
+// Package event provides the deterministic future-event queue that drives
+// the cycle-approximate simulator. Events are ordered by (cycle, insertion
+// sequence) so ties resolve in FIFO order regardless of heap internals,
+// keeping simulations reproducible.
+package event
+
+import "container/heap"
+
+// Func is the callback invoked when an event fires. It receives the cycle
+// at which it fires.
+type Func func(cycle uint64)
+
+type item struct {
+	cycle uint64
+	seq   uint64
+	fn    Func
+}
+
+type itemHeap []item
+
+func (h itemHeap) Len() int { return len(h) }
+func (h itemHeap) Less(i, j int) bool {
+	if h[i].cycle != h[j].cycle {
+		return h[i].cycle < h[j].cycle
+	}
+	return h[i].seq < h[j].seq
+}
+func (h itemHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *itemHeap) Push(x any)   { *h = append(*h, x.(item)) }
+func (h *itemHeap) Pop() any     { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+func (h itemHeap) peek() (item, bool) {
+	var z item
+	if len(h) == 0 {
+		return z, false
+	}
+	return h[0], true
+}
+
+// Queue is a future-event list. The zero value is ready to use. Queue is
+// not safe for concurrent use; the simulator is single-goroutine by design.
+type Queue struct {
+	h   itemHeap
+	seq uint64
+}
+
+// Schedule registers fn to run at the given absolute cycle.
+func (q *Queue) Schedule(cycle uint64, fn Func) {
+	q.seq++
+	heap.Push(&q.h, item{cycle: cycle, seq: q.seq, fn: fn})
+}
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return len(q.h) }
+
+// NextCycle returns the cycle of the earliest pending event. ok is false
+// when the queue is empty.
+func (q *Queue) NextCycle() (cycle uint64, ok bool) {
+	it, ok := q.h.peek()
+	return it.cycle, ok
+}
+
+// RunDue pops and runs every event scheduled at or before cycle, in order.
+// Events scheduled by callbacks for cycles <= cycle also run. It returns
+// the number of events fired.
+func (q *Queue) RunDue(cycle uint64) int {
+	n := 0
+	for {
+		it, ok := q.h.peek()
+		if !ok || it.cycle > cycle {
+			return n
+		}
+		heap.Pop(&q.h)
+		it.fn(it.cycle)
+		n++
+	}
+}

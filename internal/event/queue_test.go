@@ -1,0 +1,125 @@
+package event
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyQueue(t *testing.T) {
+	var q Queue
+	if q.Len() != 0 {
+		t.Errorf("Len = %d, want 0", q.Len())
+	}
+	if _, ok := q.NextCycle(); ok {
+		t.Error("NextCycle on empty queue reported ok")
+	}
+	if n := q.RunDue(100); n != 0 {
+		t.Errorf("RunDue fired %d events on empty queue", n)
+	}
+}
+
+func TestFIFOOrderWithinCycle(t *testing.T) {
+	var q Queue
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		q.Schedule(5, func(uint64) { got = append(got, i) })
+	}
+	q.RunDue(5)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-cycle events fired out of order: %v", got)
+		}
+	}
+}
+
+func TestCycleOrdering(t *testing.T) {
+	var q Queue
+	var got []uint64
+	cycles := []uint64{9, 3, 7, 1, 5}
+	for _, c := range cycles {
+		c := c
+		q.Schedule(c, func(at uint64) {
+			if at != c {
+				t.Errorf("fired at %d, scheduled for %d", at, c)
+			}
+			got = append(got, c)
+		})
+	}
+	q.RunDue(100)
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Errorf("events fired out of cycle order: %v", got)
+	}
+	if len(got) != len(cycles) {
+		t.Errorf("fired %d events, want %d", len(got), len(cycles))
+	}
+}
+
+func TestRunDueStopsAtBoundary(t *testing.T) {
+	var q Queue
+	fired := map[uint64]bool{}
+	for _, c := range []uint64{1, 2, 3, 4, 5} {
+		c := c
+		q.Schedule(c, func(uint64) { fired[c] = true })
+	}
+	q.RunDue(3)
+	for c := uint64(1); c <= 3; c++ {
+		if !fired[c] {
+			t.Errorf("event at %d should have fired", c)
+		}
+	}
+	for c := uint64(4); c <= 5; c++ {
+		if fired[c] {
+			t.Errorf("event at %d fired early", c)
+		}
+	}
+	if q.Len() != 2 {
+		t.Errorf("Len = %d after partial drain, want 2", q.Len())
+	}
+}
+
+func TestCallbackSchedulingSameCycleRuns(t *testing.T) {
+	var q Queue
+	ran := false
+	q.Schedule(10, func(at uint64) {
+		q.Schedule(at, func(uint64) { ran = true })
+	})
+	q.RunDue(10)
+	if !ran {
+		t.Error("event scheduled by a callback for the same cycle did not run")
+	}
+}
+
+func TestNextCycle(t *testing.T) {
+	var q Queue
+	q.Schedule(42, func(uint64) {})
+	q.Schedule(17, func(uint64) {})
+	if c, ok := q.NextCycle(); !ok || c != 17 {
+		t.Errorf("NextCycle = %d,%v, want 17,true", c, ok)
+	}
+}
+
+// Property: for any batch of events, RunDue(max) fires all of them in
+// nondecreasing cycle order.
+func TestOrderingProperty(t *testing.T) {
+	prop := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var q Queue
+		count := int(n%64) + 1
+		var fired []uint64
+		for i := 0; i < count; i++ {
+			c := uint64(rng.Intn(1000))
+			q.Schedule(c, func(at uint64) { fired = append(fired, at) })
+		}
+		q.RunDue(1000)
+		if len(fired) != count {
+			return false
+		}
+		return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] })
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,89 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/config"
+)
+
+// goldenHarness is sized between the unit-test tiny() and the real Eval
+// configuration: full TLB geometry, 12 SMs, medium working sets. It is
+// slow for a unit test (~1 min) but verifies the paper's headline shapes
+// end-to-end; skipped under -short.
+func goldenHarness(t *testing.T) *Harness {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("golden shape tests are slow; skipped with -short")
+	}
+	cfg := config.Eval()
+	cfg.NumSMs = 12
+	cfg.WarpsPerSM = 32
+	cfg.WorkloadScale = 8
+	cfg.MaxWarpInstructions = 128
+	h := New(cfg)
+	h.AppNames = []string{"CONS", "NW", "BFS2", "HISTO"}
+	h.HetPerLevel = 3
+	return h
+}
+
+// TestGoldenFig3Shape: 4KB base pages lose meaningfully against the ideal
+// TLB, 2MB large pages recover almost all of it (paper: 48.1% vs 2%).
+func TestGoldenFig3Shape(t *testing.T) {
+	h := goldenHarness(t)
+	r := h.Fig3()
+	if r.Mean4K >= 0.98 {
+		t.Errorf("4KB mean %.3f shows no translation overhead", r.Mean4K)
+	}
+	if r.Mean2M <= r.Mean4K {
+		t.Errorf("2MB mean %.3f not above 4KB mean %.3f", r.Mean2M, r.Mean4K)
+	}
+	if r.Mean2M < 0.90 {
+		t.Errorf("2MB mean %.3f should be near ideal", r.Mean2M)
+	}
+}
+
+// TestGoldenFig8Shape: Mosaic sits between GPU-MMU and the ideal TLB and
+// improves on the baseline on average.
+func TestGoldenFig8Shape(t *testing.T) {
+	h := goldenHarness(t)
+	r := h.Fig8(2, 4)
+	if r.MosaicOverGPUMMUPct <= 0 {
+		t.Errorf("Mosaic gain %.1f%% not positive", r.MosaicOverGPUMMUPct)
+	}
+	for i, level := range r.Levels {
+		if r.Mosaic[i] < r.GPUMMU[i]*0.97 {
+			t.Errorf("level %d: Mosaic %.3f below GPU-MMU %.3f", level, r.Mosaic[i], r.GPUMMU[i])
+		}
+		if r.Mosaic[i] > r.Ideal[i]*1.05 {
+			t.Errorf("level %d: Mosaic %.3f above ideal %.3f", level, r.Mosaic[i], r.Ideal[i])
+		}
+	}
+}
+
+// TestGoldenFig13Shape: Mosaic's TLB hit rates exceed the baseline's and
+// approach 100% (paper: miss rates below 1%).
+func TestGoldenFig13Shape(t *testing.T) {
+	h := goldenHarness(t)
+	r := h.Fig13(2)
+	if r.L1Mosaic[0] < 0.95 {
+		t.Errorf("Mosaic L1 hit rate %.3f below 95%%", r.L1Mosaic[0])
+	}
+	if r.L1Mosaic[0] <= r.L1GPUMMU[0] {
+		t.Errorf("Mosaic L1 %.3f not above GPU-MMU %.3f", r.L1Mosaic[0], r.L1GPUMMU[0])
+	}
+}
+
+// TestGoldenFig15Shape: GPU-MMU never uses large-page TLB entries, so the
+// large-entry sweep moves Mosaic but not the baseline.
+func TestGoldenFig15Shape(t *testing.T) {
+	h := goldenHarness(t)
+	h.AppNames = []string{"NW"}
+	r := h.Fig15L1(2, 2, 64)
+	gpuDelta := r.GPUMMU[1] - r.GPUMMU[0]
+	if gpuDelta > 0.08 || gpuDelta < -0.08 {
+		t.Errorf("GPU-MMU moved %.3f across large-entry sizes; should be flat", gpuDelta)
+	}
+	if r.Mosaic[1] < r.Mosaic[0]-0.02 {
+		t.Errorf("Mosaic did not benefit from more large entries: %.3f -> %.3f", r.Mosaic[0], r.Mosaic[1])
+	}
+}

@@ -1,0 +1,170 @@
+// Package harness regenerates every table and figure of the paper's
+// evaluation (§6 plus the motivating studies of §3). Each FigN function
+// runs the required simulations and returns both structured results (for
+// tests and benches) and a rendered metrics.Table.
+//
+// Weighted speedup follows §5: IPC_alone is measured by running each
+// application by itself on the same number of SMs it gets in the shared
+// run, under the state-of-the-art GPU-MMU baseline configuration; alone
+// runs are cached across experiments.
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Harness drives the evaluation.
+type Harness struct {
+	// Cfg is the base configuration; experiments copy and mutate it.
+	Cfg config.Config
+	// Seed drives workload composition and access streams.
+	Seed int64
+	// AppNames restricts the benchmark suite for quick runs; empty = all 27.
+	AppNames []string
+	// HetPerLevel is the number of heterogeneous workloads per
+	// concurrency level (25 in the paper).
+	HetPerLevel int
+	// Progress, when non-nil, receives one line per completed run.
+	Progress io.Writer
+
+	alone map[aloneKey]float64
+}
+
+type aloneKey struct {
+	app    string
+	sms    int
+	paging bool
+}
+
+// New returns a harness over cfg with paper-default workload counts.
+func New(cfg config.Config) *Harness {
+	return &Harness{Cfg: cfg, Seed: 42, HetPerLevel: 25}
+}
+
+// NewQuick returns a harness sized for smoke tests and benches: a
+// representative subset of applications (covering every pattern class)
+// and fewer heterogeneous mixes.
+func NewQuick(cfg config.Config) *Harness {
+	h := New(cfg)
+	h.AppNames = []string{"CONS", "NW", "HS", "BFS2", "HISTO", "LPS"}
+	h.HetPerLevel = 5
+	return h
+}
+
+// suite returns the (possibly restricted) application list.
+func (h *Harness) suite() []workload.Spec {
+	if len(h.AppNames) == 0 {
+		return workload.Suite()
+	}
+	var out []workload.Spec
+	for _, n := range h.AppNames {
+		s, err := workload.ByName(n)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// homogeneous builds n-copy workloads over the harness's suite.
+func (h *Harness) homogeneous(n int) []workload.Workload {
+	var out []workload.Workload
+	for _, s := range h.suite() {
+		apps := make([]workload.Spec, n)
+		for i := range apps {
+			apps[i] = s
+		}
+		out = append(out, workload.Workload{Name: fmt.Sprintf("%dx%s", n, s.Name), Apps: apps})
+	}
+	return out
+}
+
+// run executes one simulation.
+func (h *Harness) run(wl workload.Workload, policy core.Policy, mutate func(*config.Config), simMut func(*sim.Options)) (sim.Results, error) {
+	cfg := h.Cfg
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	opt := sim.Options{Policy: policy, Seed: h.Seed}
+	if simMut != nil {
+		simMut(&opt)
+	}
+	s, err := sim.New(cfg, wl, opt)
+	if err != nil {
+		return sim.Results{}, err
+	}
+	r, err := s.Run()
+	if err != nil {
+		return sim.Results{}, err
+	}
+	if h.Progress != nil {
+		fmt.Fprintf(h.Progress, "ran %-24s %-12s %9d cycles\n", wl.Name, r.Policy, r.Cycles)
+	}
+	return r, nil
+}
+
+// mustRun is run with panic-on-error; experiment workloads are
+// constructed by the harness itself, so failures are programming errors.
+func (h *Harness) mustRun(wl workload.Workload, policy core.Policy, mutate func(*config.Config), simMut func(*sim.Options)) sim.Results {
+	r, err := h.run(wl, policy, mutate, simMut)
+	if err != nil {
+		panic(fmt.Sprintf("harness: %s/%v: %v", wl.Name, policy, err))
+	}
+	return r
+}
+
+// aloneIPC returns the cached alone-run IPC of one application on smCount
+// SMs under the GPU-MMU baseline (§5's IPC_alone definition).
+func (h *Harness) aloneIPC(spec workload.Spec, smCount int, mutate func(*config.Config)) float64 {
+	cfg := h.Cfg
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	key := aloneKey{app: spec.Name, sms: smCount, paging: cfg.IOBusEnabled}
+	if h.alone == nil {
+		h.alone = make(map[aloneKey]float64)
+	}
+	if v, ok := h.alone[key]; ok {
+		return v
+	}
+	aloneMut := func(c *config.Config) {
+		if mutate != nil {
+			mutate(c)
+		}
+		c.NumSMs = smCount
+	}
+	r := h.mustRun(workload.Workload{Name: "alone-" + spec.Name, Apps: []workload.Spec{spec}},
+		core.GPUMMU4K, aloneMut, nil)
+	v := r.Apps[0].IPC
+	h.alone[key] = v
+	return v
+}
+
+// weightedSpeedup computes Eq. 1 for one shared run.
+func (h *Harness) weightedSpeedup(r sim.Results, wl workload.Workload, mutate func(*config.Config)) float64 {
+	smPer := h.Cfg.NumSMs / len(wl.Apps)
+	if smPer == 0 {
+		smPer = 1
+	}
+	shared := make([]float64, len(r.Apps))
+	alone := make([]float64, len(r.Apps))
+	for i, a := range r.Apps {
+		shared[i] = a.IPC
+		alone[i] = h.aloneIPC(wl.Apps[i], smPer, mutate)
+	}
+	ws, err := metrics.WeightedSpeedup(shared, alone)
+	if err != nil {
+		panic(err)
+	}
+	return ws
+}
+
+func noPaging(c *config.Config) { c.IOBusEnabled = false }

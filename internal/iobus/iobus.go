@@ -1,0 +1,111 @@
+// Package iobus models the system I/O (PCIe) bus between CPU and discrete
+// GPU memory. Demand-paging far-faults transfer page data over this bus;
+// the bus is a single serialized resource, so concurrent faults from
+// multiple applications queue behind each other — the effect that makes
+// 2MB-granularity demand paging catastrophic in the paper (§3.2, Fig. 4).
+//
+// Transfer latencies default to the paper's measurements on a GTX 1080:
+// 55 µs load-to-use for a 4KB page and 318 µs for a 2MB page.
+package iobus
+
+import (
+	"repro/internal/config"
+	"repro/internal/event"
+	"repro/internal/vmem"
+)
+
+// Stats aggregates bus activity.
+type Stats struct {
+	BaseTransfers  uint64
+	LargeTransfers uint64
+	BusyCycles     uint64
+	// TotalQueueDelay accumulates cycles transfers spent waiting for the
+	// bus behind earlier transfers.
+	TotalQueueDelay uint64
+	MaxQueueDepth   int
+}
+
+// TotalTransfers returns the number of page transfers of either size.
+func (s Stats) TotalTransfers() uint64 { return s.BaseTransfers + s.LargeTransfers }
+
+// Bus is the serialized system I/O link. Transfers pipeline: each
+// occupies the link for its occupancy (bandwidth-bound), while the
+// requesting warp observes the full load-to-use latency (fault handling +
+// transfer). Not safe for concurrent use.
+type Bus struct {
+	q        *event.Queue
+	baseLat  uint64
+	largeLat uint64
+	baseOcc  uint64
+	largeOcc uint64
+
+	busyUntil uint64
+	depth     int
+	stats     Stats
+}
+
+// New builds a bus wired to the simulator's event queue using the
+// configuration's fault latencies and occupancies.
+func New(cfg config.Config, q *event.Queue) *Bus {
+	return &Bus{
+		q:        q,
+		baseLat:  cfg.IOBaseFaultCycles,
+		largeLat: cfg.IOLargeFaultCycles,
+		baseOcc:  cfg.IOBaseOccupancyCycles,
+		largeOcc: cfg.IOLargeOccupancyCycles,
+	}
+}
+
+// LoadToUseCycles returns the load-to-use latency of a fault of the given
+// page size (55 us for 4KB, 318 us for 2MB on the paper's GTX 1080).
+func (b *Bus) LoadToUseCycles(size vmem.PageSize) uint64 {
+	if size == vmem.Large {
+		return b.largeLat
+	}
+	return b.baseLat
+}
+
+// OccupancyCycles returns the link occupancy of one transfer.
+func (b *Bus) OccupancyCycles(size vmem.PageSize) uint64 {
+	if size == vmem.Large {
+		return b.largeOcc
+	}
+	return b.baseOcc
+}
+
+// Transfer queues a page transfer of the given size starting no earlier
+// than now. done fires at the cycle the page is fully resident in GPU
+// memory (queue delay + load-to-use latency). It returns that cycle.
+func (b *Bus) Transfer(now uint64, size vmem.PageSize, done func(cycle uint64)) uint64 {
+	start := now
+	if b.busyUntil > start {
+		b.stats.TotalQueueDelay += b.busyUntil - start
+		start = b.busyUntil
+	}
+	occ := b.OccupancyCycles(size)
+	b.busyUntil = start + occ
+	b.stats.BusyCycles += occ
+	finish := start + b.LoadToUseCycles(size)
+	if size == vmem.Large {
+		b.stats.LargeTransfers++
+	} else {
+		b.stats.BaseTransfers++
+	}
+	b.depth++
+	if b.depth > b.stats.MaxQueueDepth {
+		b.stats.MaxQueueDepth = b.depth
+	}
+	b.q.Schedule(finish, func(cycle uint64) {
+		b.depth--
+		if done != nil {
+			done(cycle)
+		}
+	})
+	return finish
+}
+
+// BusyUntil reports the cycle at which the bus next becomes free.
+func (b *Bus) BusyUntil() uint64 { return b.busyUntil }
+
+// Stats returns a snapshot of the counters.
+func (b *Bus) Stats() Stats { return b.stats }

@@ -1,0 +1,191 @@
+package iobus
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/config"
+	"repro/internal/event"
+	"repro/internal/vmem"
+)
+
+func newBus() (*Bus, *event.Queue) {
+	q := &event.Queue{}
+	return New(config.Default(), q), q
+}
+
+func drain(q *event.Queue) {
+	for {
+		c, ok := q.NextCycle()
+		if !ok {
+			return
+		}
+		q.RunDue(c)
+	}
+}
+
+func TestBaseTransferLatency(t *testing.T) {
+	b, q := newBus()
+	var doneAt uint64
+	b.Transfer(0, vmem.Base, func(c uint64) { doneAt = c })
+	drain(q)
+	want := config.Default().IOBaseFaultCycles
+	if doneAt != want {
+		t.Errorf("4KB transfer done at %d, want %d", doneAt, want)
+	}
+}
+
+func TestLargeTransferLatency(t *testing.T) {
+	b, q := newBus()
+	var doneAt uint64
+	b.Transfer(0, vmem.Large, func(c uint64) { doneAt = c })
+	drain(q)
+	want := config.Default().IOLargeFaultCycles
+	if doneAt != want {
+		t.Errorf("2MB transfer done at %d, want %d", doneAt, want)
+	}
+}
+
+func TestPipelinedTransfers(t *testing.T) {
+	b, q := newBus()
+	var first, second uint64
+	b.Transfer(0, vmem.Base, func(c uint64) { first = c })
+	b.Transfer(0, vmem.Base, func(c uint64) { second = c })
+	drain(q)
+	cfg := config.Default()
+	lat, occ := cfg.IOBaseFaultCycles, cfg.IOBaseOccupancyCycles
+	if first != lat {
+		t.Errorf("first transfer done at %d, want %d", first, lat)
+	}
+	// The second transfer queues behind the first's occupancy (bandwidth),
+	// not its full load-to-use latency — faults pipeline.
+	if second != occ+lat {
+		t.Errorf("second transfer done at %d, want %d (occupancy + latency)", second, occ+lat)
+	}
+	if b.Stats().TotalQueueDelay != occ {
+		t.Errorf("queue delay = %d, want %d", b.Stats().TotalQueueDelay, occ)
+	}
+}
+
+func TestLargeTransferOccupancyDominates(t *testing.T) {
+	// Back-to-back 2MB transfers serialize on their ~175us occupancy,
+	// which is what collapses multi-app performance in Fig. 4.
+	b, q := newBus()
+	var second uint64
+	b.Transfer(0, vmem.Large, nil)
+	b.Transfer(0, vmem.Large, func(c uint64) { second = c })
+	drain(q)
+	cfg := config.Default()
+	want := cfg.IOLargeOccupancyCycles + cfg.IOLargeFaultCycles
+	if second != want {
+		t.Errorf("second 2MB transfer done at %d, want %d", second, want)
+	}
+}
+
+func TestLargeTransferBlocksLongerThanBase(t *testing.T) {
+	// A 2MB transfer ahead of a 4KB transfer delays the 4KB one by ~6x
+	// more than a 4KB transfer would — the core of the paper's Fig. 4.
+	bLarge, qL := newBus()
+	var afterLarge uint64
+	bLarge.Transfer(0, vmem.Large, nil)
+	bLarge.Transfer(0, vmem.Base, func(c uint64) { afterLarge = c })
+	drain(qL)
+
+	bBase, qB := newBus()
+	var afterBase uint64
+	bBase.Transfer(0, vmem.Base, nil)
+	bBase.Transfer(0, vmem.Base, func(c uint64) { afterBase = c })
+	drain(qB)
+
+	if afterLarge <= afterBase {
+		t.Errorf("queueing behind 2MB (%d) should exceed queueing behind 4KB (%d)", afterLarge, afterBase)
+	}
+}
+
+func TestTransferReturnsCompletionCycle(t *testing.T) {
+	b, _ := newBus()
+	cfg := config.Default()
+	fin := b.Transfer(100, vmem.Base, nil)
+	if fin != 100+cfg.IOBaseFaultCycles {
+		t.Errorf("Transfer returned %d", fin)
+	}
+	if b.BusyUntil() != 100+cfg.IOBaseOccupancyCycles {
+		t.Errorf("BusyUntil = %d, want %d", b.BusyUntil(), 100+cfg.IOBaseOccupancyCycles)
+	}
+}
+
+func TestStats(t *testing.T) {
+	b, q := newBus()
+	b.Transfer(0, vmem.Base, nil)
+	b.Transfer(0, vmem.Large, nil)
+	b.Transfer(0, vmem.Base, nil)
+	drain(q)
+	s := b.Stats()
+	if s.BaseTransfers != 2 || s.LargeTransfers != 1 {
+		t.Errorf("transfers = %d/%d, want 2/1", s.BaseTransfers, s.LargeTransfers)
+	}
+	if s.TotalTransfers() != 3 {
+		t.Errorf("TotalTransfers = %d", s.TotalTransfers())
+	}
+	want := 2*config.Default().IOBaseOccupancyCycles + config.Default().IOLargeOccupancyCycles
+	if s.BusyCycles != want {
+		t.Errorf("BusyCycles = %d, want %d", s.BusyCycles, want)
+	}
+	if s.MaxQueueDepth != 3 {
+		t.Errorf("MaxQueueDepth = %d, want 3", s.MaxQueueDepth)
+	}
+}
+
+// Property: n pipelined base transfers finish at (n-1)*occupancy+latency,
+// and busy cycles equal the summed occupancies.
+func TestPipeliningProperty(t *testing.T) {
+	prop := func(n uint8) bool {
+		count := uint64(n%20) + 1
+		b, q := newBus()
+		var last uint64
+		for i := uint64(0); i < count; i++ {
+			b.Transfer(0, vmem.Base, func(c uint64) { last = c })
+		}
+		drain(q)
+		cfg := config.Default()
+		lat, occ := cfg.IOBaseFaultCycles, cfg.IOBaseOccupancyCycles
+		return last == (count-1)*occ+lat && b.Stats().BusyCycles == count*occ
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOccupancyAccessors(t *testing.T) {
+	b, _ := newBus()
+	cfg := config.Default()
+	if b.LoadToUseCycles(vmem.Base) != cfg.IOBaseFaultCycles {
+		t.Error("base load-to-use mismatch")
+	}
+	if b.LoadToUseCycles(vmem.Large) != cfg.IOLargeFaultCycles {
+		t.Error("large load-to-use mismatch")
+	}
+	if b.OccupancyCycles(vmem.Base) != cfg.IOBaseOccupancyCycles {
+		t.Error("base occupancy mismatch")
+	}
+	if b.OccupancyCycles(vmem.Large) != cfg.IOLargeOccupancyCycles {
+		t.Error("large occupancy mismatch")
+	}
+	// The defining asymmetry: 4KB transfers pipeline far better per byte.
+	baseRate := float64(vmem.BasePageSize) / float64(b.OccupancyCycles(vmem.Base))
+	largeRate := float64(vmem.LargePageSize) / float64(b.OccupancyCycles(vmem.Large))
+	if baseRate < largeRate*0.5 || baseRate > largeRate*2 {
+		t.Errorf("bus bandwidths differ wildly: %f vs %f B/cyc", baseRate, largeRate)
+	}
+}
+
+func TestQueueDepthDrains(t *testing.T) {
+	b, q := newBus()
+	for i := 0; i < 5; i++ {
+		b.Transfer(0, vmem.Base, nil)
+	}
+	drain(q)
+	if b.Stats().MaxQueueDepth != 5 {
+		t.Errorf("MaxQueueDepth = %d, want 5", b.Stats().MaxQueueDepth)
+	}
+}

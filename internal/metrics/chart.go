@@ -1,0 +1,133 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Chart renders grouped bar charts as plain text, one row per X value —
+// enough to eyeball the shape of a reproduced figure in a terminal.
+//
+//	== Fig. 8 ==
+//	1  GPU-MMU   |#############                 1.00
+//	   Mosaic    |###################           1.45
+//	   Ideal-TLB |#####################         1.55
+type Chart struct {
+	Title  string
+	Series []string // bar labels, one per series
+	XLabel string
+	// Rows maps X labels to one value per series.
+	rows []chartRow
+	// Width is the maximum bar width in characters (default 40).
+	Width int
+}
+
+type chartRow struct {
+	x    string
+	vals []float64
+}
+
+// AddRow appends one X position with one value per series.
+func (c *Chart) AddRow(x string, vals ...float64) error {
+	if len(vals) != len(c.Series) {
+		return fmt.Errorf("metrics: row has %d values for %d series", len(vals), len(c.Series))
+	}
+	c.rows = append(c.rows, chartRow{x: x, vals: vals})
+	return nil
+}
+
+// Render draws the chart.
+func (c *Chart) Render(w io.Writer) error {
+	width := c.Width
+	if width <= 0 {
+		width = 40
+	}
+	var max float64
+	for _, r := range c.rows {
+		for _, v := range r.vals {
+			if !math.IsNaN(v) && v > max {
+				max = v
+			}
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	labelW := 0
+	for _, s := range c.Series {
+		if len(s) > labelW {
+			labelW = len(s)
+		}
+	}
+	xW := len(c.XLabel)
+	for _, r := range c.rows {
+		if len(r.x) > xW {
+			xW = len(r.x)
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		b.WriteString("== " + c.Title + " ==\n")
+	}
+	for _, r := range c.rows {
+		for i, v := range r.vals {
+			x := ""
+			if i == 0 {
+				x = r.x
+			}
+			n := int(v / max * float64(width))
+			if n < 0 {
+				n = 0
+			}
+			if n > width {
+				n = width
+			}
+			fmt.Fprintf(&b, "%-*s  %-*s |%s%s %s\n",
+				xW, x, labelW, c.Series[i],
+				strings.Repeat("#", n), strings.Repeat(" ", width-n),
+				FormatFloat(v))
+		}
+	}
+	b.WriteString("\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// ChartFromTable builds a chart from a Table whose first column is the X
+// label and whose remaining columns are numeric series. Non-numeric rows
+// (e.g. summary lines) are skipped.
+func ChartFromTable(t Table) Chart {
+	c := Chart{Title: t.Title, XLabel: firstOr(t.Columns, "x")}
+	if len(t.Columns) > 1 {
+		c.Series = t.Columns[1:]
+	}
+	for _, row := range t.Rows {
+		if len(row) != len(t.Columns) {
+			continue
+		}
+		vals := make([]float64, 0, len(row)-1)
+		ok := true
+		for _, cell := range row[1:] {
+			var v float64
+			if _, err := fmt.Sscanf(cell, "%g", &v); err != nil {
+				ok = false
+				break
+			}
+			vals = append(vals, v)
+		}
+		if ok {
+			c.AddRow(row[0], vals...)
+		}
+	}
+	return c
+}
+
+func firstOr(xs []string, def string) string {
+	if len(xs) > 0 {
+		return xs[0]
+	}
+	return def
+}

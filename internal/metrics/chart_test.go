@@ -1,0 +1,83 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartAddRowValidation(t *testing.T) {
+	c := Chart{Series: []string{"a", "b"}}
+	if err := c.AddRow("x", 1); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	if err := c.AddRow("x", 1, 2); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChartRender(t *testing.T) {
+	c := Chart{Title: "Demo", Series: []string{"GPU-MMU", "Mosaic"}, Width: 10}
+	c.AddRow("1", 1.0, 2.0)
+	c.AddRow("2", 0.5, 2.0)
+	var b strings.Builder
+	if err := c.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "Demo") || !strings.Contains(out, "GPU-MMU") {
+		t.Errorf("render missing labels:\n%s", out)
+	}
+	// Max value fills the width; half value fills half.
+	if !strings.Contains(out, strings.Repeat("#", 10)) {
+		t.Errorf("max bar not full width:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	full, half := 0, 0
+	for _, l := range lines {
+		if strings.Contains(l, "##########") {
+			full++
+		} else if strings.Contains(l, "#####") {
+			half++
+		}
+	}
+	if full != 2 || half < 1 {
+		t.Errorf("bar proportions wrong (%d full, %d half):\n%s", full, half, out)
+	}
+}
+
+func TestChartRenderEmptyAndZero(t *testing.T) {
+	c := Chart{Series: []string{"s"}}
+	var b strings.Builder
+	if err := c.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	c.AddRow("x", 0)
+	b.Reset()
+	if err := c.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "#") {
+		t.Error("zero value drew a bar")
+	}
+}
+
+func TestChartFromTable(t *testing.T) {
+	tbl := Table{Title: "T", Columns: []string{"apps", "GPU-MMU", "Mosaic"}}
+	tbl.AddRowF("1", 1.0, 1.4)
+	tbl.AddRowF("2", 0.9, 1.3)
+	tbl.AddRow("summary", "+40%", "") // non-numeric: skipped
+	c := ChartFromTable(tbl)
+	if len(c.Series) != 2 {
+		t.Fatalf("series = %v", c.Series)
+	}
+	if len(c.rows) != 2 {
+		t.Errorf("%d rows, want 2 (summary skipped)", len(c.rows))
+	}
+	var b strings.Builder
+	if err := c.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Mosaic") {
+		t.Error("series label missing")
+	}
+}

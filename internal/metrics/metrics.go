@@ -1,0 +1,182 @@
+// Package metrics implements the evaluation metrics of §5 — weighted
+// speedup for multi-application workloads (Eyerman & Eeckhout) and the
+// aggregation helpers the harness uses — plus plain-text table rendering
+// for the per-figure reports.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// WeightedSpeedup computes Eq. 1: sum over applications of
+// IPC_shared / IPC_alone. The slices must be parallel and non-empty;
+// applications with zero alone-IPC contribute zero.
+func WeightedSpeedup(shared, alone []float64) (float64, error) {
+	if len(shared) != len(alone) {
+		return 0, fmt.Errorf("metrics: %d shared vs %d alone IPCs", len(shared), len(alone))
+	}
+	if len(shared) == 0 {
+		return 0, fmt.Errorf("metrics: empty workload")
+	}
+	var ws float64
+	for i := range shared {
+		if alone[i] > 0 {
+			ws += shared[i] / alone[i]
+		}
+	}
+	return ws, nil
+}
+
+// Mean returns the arithmetic mean (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of positive values (0 if any value
+// is non-positive or the slice is empty).
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// Normalize divides each value by base, returning 0s when base is 0.
+func Normalize(xs []float64, base float64) []float64 {
+	out := make([]float64, len(xs))
+	if base == 0 {
+		return out
+	}
+	for i, x := range xs {
+		out[i] = x / base
+	}
+	return out
+}
+
+// PctChange returns (a-b)/b as a percentage (0 when b is 0).
+func PctChange(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return (a - b) / b * 100
+}
+
+// Table is a plain-text result table, one per figure/table of the paper.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddRowF appends a row with the first cell a label and the rest
+// formatted float64s.
+func (t *Table) AddRowF(label string, vals ...float64) {
+	cells := make([]string, 0, len(vals)+1)
+	cells = append(cells, label)
+	for _, v := range vals {
+		cells = append(cells, FormatFloat(v))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// FormatFloat renders a value with sensible precision for reports.
+func FormatFloat(v float64) string {
+	switch {
+	case v == math.Trunc(v) && math.Abs(v) < 1e9:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// Render writes the table as aligned plain text.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString("== " + t.Title + " ==\n")
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			pad := 0
+			if i < len(widths) {
+				pad = widths[i] - len(cell)
+			}
+			b.WriteString(cell)
+			b.WriteString(strings.Repeat(" ", pad))
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	b.WriteString("\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// CSV writes the table as comma-separated values (no quoting beyond
+// replacing embedded commas — report cells never contain them).
+func (t *Table) CSV(w io.Writer) error {
+	esc := func(s string) string { return strings.ReplaceAll(s, ",", ";") }
+	var b strings.Builder
+	for i, c := range t.Columns {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(esc(c))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(esc(cell))
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,127 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestWeightedSpeedup(t *testing.T) {
+	ws, err := WeightedSpeedup([]float64{1, 2}, []float64{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws != 1.5 {
+		t.Errorf("WS = %f, want 1.5", ws)
+	}
+	if _, err := WeightedSpeedup([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := WeightedSpeedup(nil, nil); err == nil {
+		t.Error("empty workload accepted")
+	}
+	// Zero alone-IPC contributes zero, not Inf.
+	ws, _ = WeightedSpeedup([]float64{1, 1}, []float64{0, 1})
+	if math.IsInf(ws, 1) || ws != 1 {
+		t.Errorf("WS with zero alone = %f, want 1", ws)
+	}
+}
+
+// Property: weighted speedup of a workload against itself equals the
+// number of applications.
+func TestWeightedSpeedupIdentityProperty(t *testing.T) {
+	prop := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		ipcs := make([]float64, len(raw))
+		for i, r := range raw {
+			ipcs[i] = float64(r%1000) + 1
+		}
+		ws, err := WeightedSpeedup(ipcs, ipcs)
+		return err == nil && math.Abs(ws-float64(len(ipcs))) < 1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanAndGeoMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Error("Mean wrong")
+	}
+	if GeoMean(nil) != 0 {
+		t.Error("GeoMean(nil) != 0")
+	}
+	if g := GeoMean([]float64{1, 4}); math.Abs(g-2) > 1e-9 {
+		t.Errorf("GeoMean = %f, want 2", g)
+	}
+	if GeoMean([]float64{1, 0}) != 0 {
+		t.Error("GeoMean with zero should be 0")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	got := Normalize([]float64{2, 4}, 2)
+	if got[0] != 1 || got[1] != 2 {
+		t.Errorf("Normalize = %v", got)
+	}
+	got = Normalize([]float64{2}, 0)
+	if got[0] != 0 {
+		t.Error("Normalize by zero should yield zeros")
+	}
+}
+
+func TestPctChange(t *testing.T) {
+	if PctChange(3, 2) != 50 {
+		t.Errorf("PctChange(3,2) = %f", PctChange(3, 2))
+	}
+	if PctChange(1, 0) != 0 {
+		t.Error("PctChange with zero base should be 0")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := Table{Title: "Demo", Columns: []string{"app", "ipc"}}
+	tbl.AddRow("HS", "1.5")
+	tbl.AddRowF("NW", 2.0)
+	var b strings.Builder
+	if err := tbl.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Demo", "app", "HS", "NW", "2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := Table{Columns: []string{"a", "b"}}
+	tbl.AddRow("x,y", "1")
+	var b strings.Builder
+	if err := tbl.CSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "a,b\nx;y,1\n" {
+		t.Errorf("CSV = %q", b.String())
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		2:      "2",
+		1.5:    "1.500",
+		123.45: "123.5",
+	}
+	for v, want := range cases {
+		if got := FormatFloat(v); got != want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package pagetable
+
+import (
+	"testing"
+
+	"repro/internal/vmem"
+)
+
+// FuzzMapUnmapTranslate drives a page table with an arbitrary operation
+// tape and checks structural invariants: translations only exist for
+// mapped pages, unmap removes them, and the table never panics.
+func FuzzMapUnmapTranslate(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7}, uint64(0x1000), uint64(0x2000))
+	f.Add([]byte{9, 9, 9, 0, 0, 1, 1, 2}, uint64(0xABC000), uint64(0x40000000))
+	f.Add([]byte{255, 128, 64, 32}, uint64(1)<<40, uint64(1)<<30)
+
+	f.Fuzz(func(t *testing.T, tape []byte, vaSeed, paSeed uint64) {
+		pt := New(1, seqAlloc(0x4000_0000))
+		mapped := map[uint64]vmem.PhysAddr{} // vpn -> frame
+
+		va := vmem.VirtAddr(vaSeed & ((1 << 47) - 1)).BasePageBase()
+		pa := vmem.PhysAddr(paSeed & ((1 << 38) - 1)).BaseFrameBase()
+		for _, op := range tape {
+			va += vmem.VirtAddr(uint64(op%7) * vmem.BasePageSize)
+			pa += vmem.PhysAddr(uint64(op%5) * vmem.BasePageSize)
+			vpn := va.BasePageNumber()
+			switch op % 3 {
+			case 0: // map
+				err := pt.Map(va, pa)
+				if _, exists := mapped[vpn]; exists {
+					if err == nil {
+						t.Fatalf("double map of %v accepted", va)
+					}
+				} else if err != nil {
+					t.Fatalf("map of fresh page %v failed: %v", va, err)
+				} else {
+					mapped[vpn] = pa.BaseFrameBase()
+				}
+			case 1: // unmap
+				err := pt.Unmap(va)
+				if _, exists := mapped[vpn]; exists {
+					if err != nil {
+						t.Fatalf("unmap of mapped page failed: %v", err)
+					}
+					delete(mapped, vpn)
+				} else if err == nil {
+					t.Fatalf("unmap of unmapped page %v accepted", va)
+				}
+			case 2: // translate
+				tr, ok := pt.Translate(va)
+				frame, exists := mapped[vpn]
+				if ok != exists {
+					t.Fatalf("translate(%v) = %v, mapped = %v", va, ok, exists)
+				}
+				if ok && tr.Frame != frame {
+					t.Fatalf("translate(%v) = %v, want %v", va, tr.Frame, frame)
+				}
+			}
+		}
+		if got := pt.Stats().MappedBasePages; got != uint64(len(mapped)) {
+			t.Fatalf("MappedBasePages = %d, model has %d", got, len(mapped))
+		}
+	})
+}

@@ -1,0 +1,140 @@
+package sim
+
+import (
+	"math/rand"
+
+	"repro/internal/dram"
+	"repro/internal/pagetable"
+	"repro/internal/trace"
+	"repro/internal/vmem"
+)
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// accessPTE is the page-table read path when PTWalkCached is false: it
+// contends for the L2 ports like any access but always fetches from DRAM,
+// modeling page tables that do not stay resident in the thrashed L2 (the
+// unscaled-working-set behavior; see DESIGN.md §5).
+func (s *Simulator) accessPTE(now uint64, pa vmem.PhysAddr, done func(cycle uint64)) {
+	start := s.l2cGate.Admit(now)
+	l2Lat := uint64(s.cfg.L2CacheLatency)
+	s.mem.Enqueue(start+l2Lat, dram.Request{Addr: pa, Done: done})
+}
+
+// memInstr performs one lane-group memory access: translate, ensure
+// residency (demand paging), then the data access through the cache
+// hierarchy. done fires when the data arrives.
+func (s *Simulator) memInstr(m *sm, va vmem.VirtAddr, done func(cycle uint64)) {
+	s.translate(m, va, func(c uint64, pa vmem.PhysAddr, ok bool) {
+		if !ok {
+			s.trFaults++
+			done(c)
+			return
+		}
+		proceed := func(c2 uint64) { s.accessData(m, c2, pa, done) }
+		if s.mgr.EnsureResident(c, m.app.asid, va, proceed) {
+			proceed(c)
+		}
+	})
+}
+
+// translate resolves va through the TLB hierarchy: L1 (large then base),
+// shared L2 (port-limited), then the shared page table walker. The Ideal
+// TLB policy short-circuits to an L1 hit.
+func (s *Simulator) translate(m *sm, va vmem.VirtAddr, done func(cycle uint64, pa vmem.PhysAddr, ok bool)) {
+	now := s.cycle
+	asid := m.app.asid
+	l1Lat := uint64(s.cfg.L1TLBLatency)
+
+	if s.mgr.TranslationBypass() {
+		tr, ok := s.mgr.Translate(asid, va)
+		s.l1Req++
+		s.l1Hit++
+		done(now+l1Lat, tr.PhysOf(va), ok)
+		return
+	}
+
+	// L1 TLB: large-page entries first (§4.3), then base.
+	s.l1Req++
+	if frame, ok := m.l1tlb.LookupLarge(asid, va); ok {
+		s.l1Hit++
+		done(now+l1Lat, frame+vmem.PhysAddr(uint64(va)&(vmem.LargePageSize-1)), true)
+		return
+	}
+	if frame, ok := m.l1tlb.LookupBase(asid, va); ok {
+		s.l1Hit++
+		done(now+l1Lat, frame+vmem.PhysAddr(va.PageOffset()), true)
+		return
+	}
+
+	// Shared L2 TLB: port contention then lookup latency.
+	start := s.l2gate.Admit(now + l1Lat)
+	lookupDone := start + uint64(s.cfg.L2TLBLatency)
+	s.q.Schedule(lookupDone, func(c uint64) {
+		s.l2Req++
+		if frame, ok := s.l2tlb.LookupLarge(asid, va); ok {
+			s.l2Hit++
+			m.l1tlb.InsertLarge(asid, va, frame)
+			done(c, frame+vmem.PhysAddr(uint64(va)&(vmem.LargePageSize-1)), true)
+			return
+		}
+		if frame, ok := s.l2tlb.LookupBase(asid, va); ok {
+			s.l2Hit++
+			m.l1tlb.InsertBase(asid, va, frame)
+			done(c, frame+vmem.PhysAddr(va.PageOffset()), true)
+			return
+		}
+		// Page table walk.
+		walkStart := c
+		s.walker.Walk(c, asid, va, func(c2 uint64, tr pagetable.Translation, ok bool) {
+			s.rec.Record(trace.Event{
+				Cycle: c2, Kind: trace.EvWalk, ASID: asid,
+				VA: va.BasePageBase(), Latency: c2 - walkStart,
+			})
+			if !ok {
+				done(c2, 0, false)
+				return
+			}
+			if tr.Size == vmem.Large {
+				s.l2tlb.InsertLarge(asid, va, tr.Frame)
+				m.l1tlb.InsertLarge(asid, va, tr.Frame)
+			} else {
+				s.l2tlb.InsertBase(asid, va, tr.Frame)
+				m.l1tlb.InsertBase(asid, va, tr.Frame)
+			}
+			done(c2, tr.PhysOf(va), true)
+		})
+	})
+}
+
+// accessData runs a physical access through the SM's L1 cache, the shared
+// L2, and DRAM, with MSHR coalescing at both cache levels.
+func (s *Simulator) accessData(m *sm, now uint64, pa vmem.PhysAddr, done func(cycle uint64)) {
+	l1Lat := uint64(s.cfg.L1CacheLatency)
+	if m.l1cache.Lookup(pa) {
+		done(now + l1Lat)
+		return
+	}
+	if first := m.l1cache.TrackMiss(pa, done); first {
+		s.accessL2(now+l1Lat, pa, func(c uint64) {
+			m.l1cache.CompleteMiss(pa, c)
+		})
+	}
+}
+
+// accessL2 runs an access through the shared L2 cache and DRAM. It is
+// also the walker's memory path (page table reads hit the L2 like data),
+// so walk traffic competes with data traffic for the banked L2 ports.
+func (s *Simulator) accessL2(now uint64, pa vmem.PhysAddr, done func(cycle uint64)) {
+	start := s.l2cGate.Admit(now)
+	l2Lat := uint64(s.cfg.L2CacheLatency)
+	if s.l2c.Lookup(pa) {
+		s.q.Schedule(start+l2Lat, done)
+		return
+	}
+	if first := s.l2c.TrackMiss(pa, done); first {
+		s.mem.Enqueue(start+l2Lat, dram.Request{Addr: pa, Done: func(c uint64) {
+			s.l2c.CompleteMiss(pa, c)
+		}})
+	}
+}

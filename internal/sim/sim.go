@@ -1,0 +1,647 @@
+// Package sim is the cycle-approximate multi-application GPU simulator:
+// SMs running SIMT warps under a greedy-then-oldest (GTO) scheduler, a
+// two-level TLB hierarchy with a shared highly-threaded page table walker,
+// per-SM L1 caches, a banked shared L2, FR-FCFS DRAM, and demand paging
+// over a serialized system I/O bus — the substrate on which the paper's
+// memory managers are compared.
+//
+// The model is warp-granularity: each SM issues at most one instruction
+// per cycle from one ready warp; a memory instruction blocks its warp
+// until every lane's access (translation, residency, data) completes.
+// This preserves the stall structure that address translation and demand
+// paging perturb, which is what the paper measures.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/alloc"
+	"repro/internal/cache"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/event"
+	"repro/internal/iobus"
+	"repro/internal/pagetable"
+	"repro/internal/tlb"
+	"repro/internal/trace"
+	"repro/internal/vmem"
+	"repro/internal/walker"
+	"repro/internal/workload"
+)
+
+// Options configures one simulation run.
+type Options struct {
+	// Policy selects the memory manager under test.
+	Policy core.Policy
+	// MutateManager optionally tweaks the manager options (ablations).
+	MutateManager func(*core.Options)
+	// Seed drives all workload randomness.
+	Seed int64
+	// FragIndex/FragOccupancy pre-fragment physical memory before the
+	// applications start (§6.4 stress tests). Zero disables.
+	FragIndex     float64
+	FragOccupancy float64
+	// DeallocFraction frees this fraction of each app's buffer partway
+	// through execution, exercising CAC. Zero disables.
+	DeallocFraction float64
+	// TraceLimit, when positive, records up to this many memory-management
+	// events (see internal/trace) into Results.Trace.
+	TraceLimit int
+}
+
+type warpState uint8
+
+const (
+	warpReady warpState = iota
+	warpBlocked
+	warpDone
+)
+
+type warp struct {
+	idx         int
+	state       warpState
+	readyAt     uint64
+	computeLeft int
+	gen         *workload.StreamGen
+	outstanding int
+	retired     uint64
+	// jitterState drives a small deterministic per-round perturbation of
+	// the compute phase. Real kernels' warps are never perfectly
+	// phase-locked; without jitter, thousands of identical warps issue
+	// memory bursts in lockstep and queueing artifacts dominate. The
+	// jitter depends only on the warp, not the memory manager, so
+	// cross-policy comparisons stay instruction-identical.
+	jitterState uint64
+}
+
+// jitter returns the warp's next 0..2 extra compute cycles.
+func (w *warp) jitter() int {
+	w.jitterState = w.jitterState*6364136223846793005 + 1442695040888963407
+	return int(w.jitterState>>33) % 5
+}
+
+type sm struct {
+	id      int
+	app     *appRun
+	l1tlb   *tlb.TLB
+	l1cache *cache.Cache
+	warps   []*warp
+	lastIdx int
+	live    int // warps not yet done
+}
+
+// buffer is one contiguous virtual allocation of an application. Real
+// GPGPU applications allocate several unevenly sized arrays en masse;
+// splitting the working set this way is what exposes the 2MB-only
+// manager's internal fragmentation (§3.2).
+type buffer struct {
+	va   vmem.VirtAddr
+	size uint64
+}
+
+type appRun struct {
+	asid    vmem.ASID
+	spec    workload.Spec
+	base    vmem.VirtAddr
+	buffers []buffer
+	sms     []*sm
+	liveSMs int
+	// results
+	instructions uint64
+	finishCycle  uint64
+	completed    bool
+	deallocDone  bool
+}
+
+// addrOf maps a working-set offset onto the application's buffers.
+func (a *appRun) addrOf(off uint64) vmem.VirtAddr {
+	for i := range a.buffers {
+		b := &a.buffers[i]
+		if off < b.size {
+			return b.va + vmem.VirtAddr(off)
+		}
+		off -= b.size
+	}
+	// Offsets are always < the summed sizes; fall back defensively.
+	return a.buffers[0].va
+}
+
+// AppResult reports one application's outcome.
+type AppResult struct {
+	ASID         vmem.ASID
+	Name         string
+	Instructions uint64
+	FinishCycle  uint64
+	IPC          float64
+	Completed    bool
+	BloatPct     float64
+}
+
+// Results reports one simulation run.
+type Results struct {
+	Workload string
+	Policy   string
+	Cycles   uint64
+	Apps     []AppResult
+
+	// Request-granularity TLB rates: a request hits a level if either
+	// its large or base array serves it.
+	L1TLBRequests, L1TLBHits uint64
+	L2TLBRequests, L2TLBHits uint64
+
+	Manager   core.Stats
+	Allocator alloc.Stats
+	Bus       iobus.Stats
+	DRAM      dram.Stats
+	Walker    walker.Stats
+	// PageWalkCache holds walk-cache counters when the optional
+	// dedicated walk cache is configured (zero value otherwise).
+	PageWalkCache cache.Stats
+
+	// TranslationFaults counts walks that found no mapping (must be 0
+	// for well-formed workloads).
+	TranslationFaults uint64
+
+	// Trace holds recorded management events when Options.TraceLimit was
+	// set; nil otherwise.
+	Trace *trace.Recorder
+}
+
+// L1TLBHitRate returns the request-granularity L1 TLB hit rate.
+func (r Results) L1TLBHitRate() float64 { return rate(r.L1TLBHits, r.L1TLBRequests) }
+
+// L2TLBHitRate returns the request-granularity shared L2 TLB hit rate.
+func (r Results) L2TLBHitRate() float64 { return rate(r.L2TLBHits, r.L2TLBRequests) }
+
+func rate(h, n uint64) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(h) / float64(n)
+}
+
+// TotalIPC sums per-app IPCs (system throughput).
+func (r Results) TotalIPC() float64 {
+	var t float64
+	for _, a := range r.Apps {
+		t += a.IPC
+	}
+	return t
+}
+
+// Simulator is one configured run. Use New then Run once.
+type Simulator struct {
+	cfg config.Config
+	opt Options
+	wl  workload.Workload
+
+	q       *event.Queue
+	cycle   uint64
+	bus     *iobus.Bus
+	mem     *dram.DRAM
+	mgr     *core.System
+	l2c     *cache.Cache
+	l2cGate *tlb.PortGate // L2 cache lookup throughput (banked ports)
+	l2tlb   *tlb.TLB
+	l2gate  *tlb.PortGate
+	walker  *walker.Walker
+	pwc     *cache.Cache // optional dedicated page-walk cache
+
+	sms  []*sm
+	apps []*appRun
+
+	liveApps int
+	rec      *trace.Recorder
+
+	l1Req, l1Hit uint64
+	l2Req, l2Hit uint64
+	trFaults     uint64
+}
+
+// New builds a simulator for the workload under the given policy.
+func New(cfg config.Config, wl workload.Workload, opt Options) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(wl.Apps) == 0 {
+		return nil, errors.New("sim: empty workload")
+	}
+	if len(wl.Apps) > cfg.NumSMs {
+		return nil, fmt.Errorf("sim: %d apps exceed %d SMs", len(wl.Apps), cfg.NumSMs)
+	}
+
+	s := &Simulator{cfg: cfg, opt: opt, wl: wl, q: &event.Queue{}}
+	s.bus = iobus.New(cfg, s.q)
+	s.mem = dram.New(cfg, s.q)
+
+	mopt := core.OptionsFor(opt.Policy, cfg)
+	if opt.MutateManager != nil {
+		opt.MutateManager(&mopt)
+	}
+	mgr, err := core.NewSystem(cfg, mopt, s.q, s.bus, s.mem)
+	if err != nil {
+		return nil, err
+	}
+	s.mgr = mgr
+	if opt.TraceLimit > 0 {
+		s.rec = trace.New(opt.TraceLimit)
+		mgr.SetTrace(s.rec)
+	}
+
+	if opt.FragIndex > 0 {
+		rng := newRand(opt.Seed ^ 0x5f5f)
+		mgr.Pool().PreFragment(rng, opt.FragIndex, opt.FragOccupancy)
+		mgr.RebuildFreeLists()
+	}
+
+	s.l2c = cache.MustNew("L2", cfg.L2CacheBytes, cfg.L2CacheLineSz, cfg.L2CacheWays)
+	s.l2cGate = tlb.NewPortGate(cfg.L2CachePorts)
+	s.l2tlb = tlb.MustNew(tlb.Config{
+		Name:         "L2TLB",
+		BaseEntries:  cfg.L2TLBBaseEntries,
+		BaseWays:     cfg.L2TLBBaseWays,
+		LargeEntries: cfg.L2TLBLargeEntries,
+		Latency:      cfg.L2TLBLatency,
+	})
+	s.l2gate = tlb.NewPortGate(cfg.L2TLBPorts)
+	var pwc *cache.Cache
+	if cfg.PageWalkCacheEntries > 0 {
+		ways := 4
+		if cfg.PageWalkCacheEntries < ways || cfg.PageWalkCacheEntries%ways != 0 {
+			ways = 1
+		}
+		pwc = cache.MustNew("PWC", cfg.PageWalkCacheEntries*cfg.L2CacheLineSz,
+			cfg.L2CacheLineSz, ways)
+	}
+	s.pwc = pwc
+	walkAccess := func(now uint64, addr vmem.PhysAddr, level int, done func(uint64)) {
+		// A dedicated page-walk cache (Power et al.) intercepts PTE
+		// reads before the memory system when configured.
+		if pwc != nil {
+			if pwc.Lookup(addr) {
+				s.q.Schedule(now+uint64(cfg.PageWalkCacheLatency), done)
+				return
+			}
+			inner := done
+			done = func(c uint64) {
+				pwc.Fill(addr)
+				inner(c)
+			}
+		}
+		// Upper-level PTEs cover huge ranges and stay hot in the L2
+		// cache even at unscaled working sets; leaf PTEs thrash. With
+		// PTWalkCached every level is L2-cacheable.
+		if cfg.PTWalkCached || level < pagetable.Levels-1 {
+			s.accessL2(now, addr, done)
+			return
+		}
+		s.accessPTE(now, addr, done)
+	}
+	s.walker = walker.New(cfg.WalkerConcurrency, mgr, walkAccess)
+
+	mgr.SetFlushHooks(
+		func(asid vmem.ASID, va vmem.VirtAddr) {
+			s.l2tlb.FlushLargeEntry(asid, va)
+			for _, m := range s.sms {
+				m.l1tlb.FlushLargeEntry(asid, va)
+			}
+		},
+		func(asid vmem.ASID, va vmem.VirtAddr) {
+			s.l2tlb.FlushBaseEntry(asid, va)
+			for _, m := range s.sms {
+				m.l1tlb.FlushBaseEntry(asid, va)
+			}
+		},
+		func() {
+			s.l2tlb.FlushAll()
+			for _, m := range s.sms {
+				m.l1tlb.FlushAll()
+			}
+		},
+	)
+
+	if err := s.setupApps(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// setupApps partitions SMs equally across applications (§5), registers
+// protection domains, performs the en-masse allocations, and builds the
+// per-warp access streams.
+func (s *Simulator) setupApps() error {
+	nApps := len(s.wl.Apps)
+	per := s.cfg.NumSMs / nApps
+
+	smID := 0
+	for i, spec := range s.wl.Apps {
+		asid := vmem.ASID(i + 1)
+		app := &appRun{
+			asid: asid,
+			spec: spec,
+			base: vmem.VirtAddr(1 << 30), // private address space per app
+		}
+		if err := s.mgr.RegisterApp(asid); err != nil {
+			return err
+		}
+		// En-masse allocation of the working set as three unevenly sized
+		// buffers (as real kernels allocate several arrays at launch).
+		// Each buffer starts 2MB-aligned; sizes are page-granular, so the
+		// tails exercise partial-region allocation.
+		ws := spec.ScaledWorkingSet(s.cfg)
+		sizes := []uint64{ws}
+		if ws >= 4*vmem.LargePageSize {
+			// Ragged sizes: real arrays are page-granular, not 2MB
+			// multiples, which is where 2MB-only management bloats.
+			s1 := vmem.AlignUp(ws/2, vmem.BasePageSize) + 5*vmem.BasePageSize
+			s2 := vmem.AlignUp(ws*3/10, vmem.BasePageSize) + 11*vmem.BasePageSize
+			sizes = []uint64{s1, s2, ws - s1 - s2}
+		}
+		va := app.base
+		for _, sz := range sizes {
+			if sz == 0 {
+				continue
+			}
+			app.buffers = append(app.buffers, buffer{va: va, size: sz})
+			if err := s.mgr.AllocVirtual(0, asid, va, sz); err != nil {
+				return fmt.Errorf("sim: en-masse alloc for %s: %w", spec.Name, err)
+			}
+			va = vmem.VirtAddr(vmem.AlignUp(uint64(va)+sz, vmem.LargePageSize)) + vmem.LargePageSize
+		}
+
+		count := per
+		if count == 0 {
+			count = 1
+		}
+		warpTotal := count * s.cfg.WarpsPerSM
+		warpIdx := 0
+		cap := spec
+		if s.cfg.MaxWarpInstructions > 0 && cap.AccessesPerWarp > s.cfg.MaxWarpInstructions {
+			cap.AccessesPerWarp = s.cfg.MaxWarpInstructions
+		}
+		for c := 0; c < count; c++ {
+			m := &sm{
+				id:  smID,
+				app: app,
+				l1tlb: tlb.MustNew(tlb.Config{
+					Name:         fmt.Sprintf("L1TLB-%d", smID),
+					BaseEntries:  s.cfg.L1TLBBaseEntries,
+					LargeEntries: s.cfg.L1TLBLargeEntries,
+					Latency:      s.cfg.L1TLBLatency,
+				}),
+				l1cache: cache.MustNew(fmt.Sprintf("L1-%d", smID),
+					s.cfg.L1CacheBytes, s.cfg.L1CacheLineSz, s.cfg.L1CacheWays),
+			}
+			for wi := 0; wi < s.cfg.WarpsPerSM; wi++ {
+				w := &warp{
+					idx:         wi,
+					computeLeft: cap.ComputePerMem,
+					gen:         cap.NewStream(s.cfg, warpIdx, warpTotal, s.opt.Seed^int64(asid)<<32),
+					jitterState: uint64(warpIdx)*0x9E3779B97F4A7C15 + uint64(asid),
+					// Stagger warp start cycles so SMs do not issue their
+					// first memory burst in perfect lockstep.
+					readyAt: uint64((warpIdx * 13) % 173),
+				}
+				warpIdx++
+				m.warps = append(m.warps, w)
+			}
+			m.live = len(m.warps)
+			app.sms = append(app.sms, m)
+			s.sms = append(s.sms, m)
+			smID++
+		}
+		app.liveSMs = len(app.sms)
+		s.apps = append(s.apps, app)
+	}
+	s.liveApps = nApps
+	return nil
+}
+
+// Run executes the simulation to completion (or MaxCycles) and returns
+// the results. It must be called once.
+func (s *Simulator) Run() (Results, error) {
+	for s.liveApps > 0 && s.cycle < s.cfg.MaxCycles {
+		s.q.RunDue(s.cycle)
+
+		issued := false
+		if s.cycle >= s.mgr.StallUntil() {
+			for _, m := range s.sms {
+				if s.issueSM(m) {
+					issued = true
+				}
+			}
+			s.maybeDealloc()
+		}
+
+		s.cycle++
+		if issued {
+			continue
+		}
+		// Nothing issued: fast-forward to the earliest of the next event,
+		// the end of a GPU-wide stall, or the next warp wake-up.
+		var target uint64
+		found := false
+		consider := func(c uint64) {
+			if c >= s.cycle && (!found || c < target) {
+				target, found = c, true
+			}
+		}
+		if next, ok := s.q.NextCycle(); ok {
+			consider(next)
+		}
+		if st := s.mgr.StallUntil(); st > s.cycle {
+			consider(st)
+		}
+		consider(s.nextWarpWake())
+		if !found {
+			if s.liveApps > 0 {
+				return Results{}, fmt.Errorf("sim: deadlock at cycle %d with %d live apps", s.cycle, s.liveApps)
+			}
+			break
+		}
+		if target > s.cycle {
+			s.cycle = target
+		}
+	}
+	return s.results(), nil
+}
+
+// nextWarpWake returns the earliest readyAt among ready warps that are
+// waiting on a future cycle, or 0 when none are.
+func (s *Simulator) nextWarpWake() uint64 {
+	var min uint64
+	for _, m := range s.sms {
+		if m.live == 0 {
+			continue
+		}
+		for _, w := range m.warps {
+			if w.state == warpReady && w.readyAt > s.cycle-1 {
+				if min == 0 || w.readyAt < min {
+					min = w.readyAt
+				}
+			}
+		}
+	}
+	return min
+}
+
+// maybeDealloc frees a fraction of each application's buffer once it is
+// halfway done, to exercise deallocation paths and CAC. It polls cheaply
+// (every 8K cycles) since scanning warps is O(total warps).
+func (s *Simulator) maybeDealloc() {
+	if s.opt.DeallocFraction <= 0 || s.cycle&0x1FFF != 0 {
+		return
+	}
+	for _, app := range s.apps {
+		if app.deallocDone || app.completed {
+			continue
+		}
+		total := uint64(0)
+		left := uint64(0)
+		for _, m := range app.sms {
+			for _, w := range m.warps {
+				total += uint64(w.gen.Spec().AccessesPerWarp)
+				left += uint64(w.gen.Remaining())
+			}
+		}
+		if left*2 > total {
+			continue
+		}
+		app.deallocDone = true
+		ws := app.spec.ScaledWorkingSet(s.cfg)
+		// Allocate a scratch buffer of whole 2MB regions (so they
+		// coalesce under Mosaic), then free DeallocFraction of it —
+		// exercising CAC's splinter/compact/emergency paths without
+		// touching the pages the access streams still use.
+		scratch := vmem.AlignUp(ws/2, vmem.LargePageSize)
+		last := app.buffers[len(app.buffers)-1]
+		scratchVA := vmem.VirtAddr(vmem.AlignUp(uint64(last.va)+last.size, vmem.LargePageSize)) + vmem.LargePageSize
+		if err := s.mgr.AllocVirtual(s.cycle, app.asid, scratchVA, scratch); err == nil {
+			frac := vmem.AlignDown(uint64(float64(scratch)*s.opt.DeallocFraction), vmem.BasePageSize)
+			_ = s.mgr.FreeVirtual(s.cycle, app.asid, scratchVA, frac)
+		}
+	}
+}
+
+// issueSM issues at most one instruction on one SM using GTO scheduling:
+// keep issuing from the last warp until it stalls, then pick the oldest
+// ready warp.
+func (s *Simulator) issueSM(m *sm) bool {
+	if m.live == 0 {
+		return false
+	}
+	w := m.warps[m.lastIdx]
+	if !s.warpReady(w) {
+		w = nil
+		for _, cand := range m.warps { // oldest = lowest index
+			if s.warpReady(cand) {
+				w = cand
+				break
+			}
+		}
+		if w == nil {
+			return false
+		}
+		m.lastIdx = w.idx
+	}
+	s.issueWarp(m, w)
+	return true
+}
+
+func (s *Simulator) warpReady(w *warp) bool {
+	return w.state == warpReady && w.readyAt <= s.cycle
+}
+
+func (s *Simulator) issueWarp(m *sm, w *warp) {
+	if w.computeLeft > 0 {
+		w.computeLeft--
+		w.retired++
+		w.readyAt = s.cycle + 1
+		return
+	}
+	var buf [8]uint64
+	n := w.gen.Next(buf[:])
+	if n == 0 {
+		s.finishWarp(m, w)
+		return
+	}
+	w.state = warpBlocked
+	w.outstanding = n
+	for i := 0; i < n; i++ {
+		s.memInstr(m, m.app.addrOf(buf[i]), func(c uint64) {
+			w.outstanding--
+			if w.outstanding == 0 {
+				w.state = warpReady
+				w.readyAt = c + 1
+				w.retired++
+				w.computeLeft = w.gen.Spec().ComputePerMem + w.jitter()
+			}
+		})
+	}
+}
+
+func (s *Simulator) finishWarp(m *sm, w *warp) {
+	w.state = warpDone
+	m.live--
+	m.app.instructions += w.retired
+	if m.live == 0 {
+		m.app.liveSMs--
+		if m.app.liveSMs == 0 {
+			m.app.completed = true
+			m.app.finishCycle = s.cycle
+			s.liveApps--
+		}
+	}
+}
+
+func (s *Simulator) results() Results {
+	r := Results{
+		Workload:          s.wl.Name,
+		Policy:            s.mgr.Name(),
+		Cycles:            s.cycle,
+		L1TLBRequests:     s.l1Req,
+		L1TLBHits:         s.l1Hit,
+		L2TLBRequests:     s.l2Req,
+		L2TLBHits:         s.l2Hit,
+		Manager:           s.mgr.Stats(),
+		Allocator:         s.mgr.AllocatorStats(),
+		Bus:               s.bus.Stats(),
+		DRAM:              s.mem.Stats(),
+		Walker:            s.walker.Stats(),
+		TranslationFaults: s.trFaults,
+		Trace:             s.rec,
+	}
+	if s.pwc != nil {
+		r.PageWalkCache = s.pwc.Stats()
+	}
+	for _, app := range s.apps {
+		fin := app.finishCycle
+		instr := app.instructions
+		if !app.completed {
+			fin = s.cycle
+			// Count work done so far.
+			instr = 0
+			for _, m := range app.sms {
+				for _, w := range m.warps {
+					instr += w.retired
+				}
+			}
+		}
+		ipc := 0.0
+		if fin > 0 {
+			ipc = float64(instr) / float64(fin)
+		}
+		r.Apps = append(r.Apps, AppResult{
+			ASID:         app.asid,
+			Name:         app.spec.Name,
+			Instructions: instr,
+			FinishCycle:  fin,
+			IPC:          ipc,
+			Completed:    app.completed,
+			BloatPct:     s.mgr.BloatPct(app.asid),
+		})
+	}
+	return r
+}

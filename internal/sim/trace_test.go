@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func TestTraceRecording(t *testing.T) {
+	cfg := config.FastTest()
+	cfg.MaxWarpInstructions = 64
+	spec, _ := workload.ByName("NW")
+	wl := workload.Workload{Name: "NW", Apps: []workload.Spec{spec}}
+	s, err := New(cfg, wl, Options{Policy: core.Mosaic, Seed: 1, TraceLimit: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Trace == nil {
+		t.Fatal("no trace recorded")
+	}
+	sum := trace.Summarize(r.Trace.Events())
+	if sum.Counts["alloc"] == 0 {
+		t.Error("no alloc events recorded")
+	}
+	if sum.Counts["coalesce"] != r.Manager.Coalesces {
+		t.Errorf("coalesce events %d != stats %d", sum.Counts["coalesce"], r.Manager.Coalesces)
+	}
+	if sum.Counts["far-fault"] != r.Manager.FarFaults {
+		t.Errorf("fault events %d != stats %d", sum.Counts["far-fault"], r.Manager.FarFaults)
+	}
+	// One walk event fires per translation request, including requests
+	// that coalesced into an in-flight walk.
+	wantWalks := r.Walker.Walks + r.Walker.Coalesced
+	if r.Trace.Dropped() == 0 && sum.Counts["walk"] != wantWalks {
+		t.Errorf("walk events %d != walks+coalesced %d", sum.Counts["walk"], wantWalks)
+	}
+	// Events must serialize round-trip.
+	var buf bytes.Buffer
+	if err := r.Trace.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := trace.ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != r.Trace.Len() {
+		t.Errorf("round trip lost events: %d vs %d", len(evs), r.Trace.Len())
+	}
+}
+
+func TestTraceDisabledByDefault(t *testing.T) {
+	cfg := config.FastTest()
+	cfg.MaxWarpInstructions = 32
+	spec, _ := workload.ByName("SCP")
+	wl := workload.Workload{Name: "SCP", Apps: []workload.Spec{spec}}
+	s, err := New(cfg, wl, Options{Policy: core.Mosaic, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Trace != nil {
+		t.Error("trace recorded without TraceLimit")
+	}
+}

@@ -1,0 +1,354 @@
+// Package tlb implements the translation lookaside buffers: per-SM private
+// L1 TLBs and the shared L2 TLB. Following the paper (§2.2), every TLB
+// level keeps two separate sets of entries — one for base (4KB) pages and
+// one for large (2MB) pages — and shared-level entries carry address-space
+// identifiers so concurrently running applications cannot consume each
+// other's translations.
+//
+// Lookup order under Mosaic (§4.3): probe the large-page entries first; a
+// hit there means the page is coalesced and the base-page entries are not
+// consulted, preserving base-entry capacity for uncoalesced pages.
+package tlb
+
+import (
+	"fmt"
+
+	"repro/internal/vmem"
+)
+
+// Key identifies a cached translation: a protection domain plus a virtual
+// page number (base VPN for the base array, large VPN for the large array).
+type Key struct {
+	ASID vmem.ASID
+	VPN  uint64
+}
+
+// Stats aggregates per-array hit/miss counters.
+type Stats struct {
+	BaseHits    uint64
+	BaseMisses  uint64
+	LargeHits   uint64
+	LargeMisses uint64
+	Insertions  uint64
+	Flushes     uint64
+}
+
+// Hits returns total hits across both arrays.
+func (s Stats) Hits() uint64 { return s.BaseHits + s.LargeHits }
+
+// Lookups returns total lookups across both arrays.
+func (s Stats) Lookups() uint64 {
+	return s.BaseHits + s.BaseMisses + s.LargeHits + s.LargeMisses
+}
+
+// HitRate returns overall hits/lookups (0 when idle). Note that a single
+// translation request that misses in the large array and hits in the base
+// array counts one large miss and one base hit; use the MMU-level stats
+// for request-granularity rates.
+func (s Stats) HitRate() float64 {
+	l := s.Lookups()
+	if l == 0 {
+		return 0
+	}
+	return float64(s.Hits()) / float64(l)
+}
+
+type way struct {
+	key      Key
+	frame    vmem.PhysAddr
+	valid    bool
+	lastUsed uint64
+}
+
+// entrySet is one set-associative array with LRU replacement.
+// sets == 1 makes it fully associative.
+type entrySet struct {
+	sets int
+	ways int
+	arr  []way
+	tick uint64
+}
+
+func newEntrySet(entries, ways int) (*entrySet, error) {
+	if entries <= 0 || ways <= 0 || entries%ways != 0 {
+		return nil, fmt.Errorf("tlb: bad geometry entries=%d ways=%d", entries, ways)
+	}
+	return &entrySet{sets: entries / ways, ways: ways, arr: make([]way, entries)}, nil
+}
+
+func (e *entrySet) setOf(k Key) int {
+	if e.sets == 1 {
+		return 0
+	}
+	h := k.VPN*0x9E3779B97F4A7C15 ^ uint64(k.ASID)*0xBF58476D1CE4E5B9
+	return int(h % uint64(e.sets))
+}
+
+func (e *entrySet) lookup(k Key) (vmem.PhysAddr, bool) {
+	base := e.setOf(k) * e.ways
+	e.tick++
+	for i := 0; i < e.ways; i++ {
+		w := &e.arr[base+i]
+		if w.valid && w.key == k {
+			w.lastUsed = e.tick
+			return w.frame, true
+		}
+	}
+	return 0, false
+}
+
+func (e *entrySet) probe(k Key) bool {
+	base := e.setOf(k) * e.ways
+	for i := 0; i < e.ways; i++ {
+		w := &e.arr[base+i]
+		if w.valid && w.key == k {
+			return true
+		}
+	}
+	return false
+}
+
+func (e *entrySet) insert(k Key, frame vmem.PhysAddr) {
+	base := e.setOf(k) * e.ways
+	e.tick++
+	victim := -1
+	var oldest = ^uint64(0)
+	for i := 0; i < e.ways; i++ {
+		w := &e.arr[base+i]
+		if w.valid && w.key == k {
+			w.frame = frame
+			w.lastUsed = e.tick
+			return
+		}
+		if !w.valid {
+			if victim == -1 || e.arr[base+victim].valid {
+				victim = i
+			}
+			continue
+		}
+		if w.lastUsed < oldest && (victim == -1 || e.arr[base+victim].valid) {
+			oldest = w.lastUsed
+			victim = i
+		}
+	}
+	e.arr[base+victim] = way{key: k, frame: frame, valid: true, lastUsed: e.tick}
+}
+
+func (e *entrySet) invalidate(k Key) bool {
+	base := e.setOf(k) * e.ways
+	for i := 0; i < e.ways; i++ {
+		w := &e.arr[base+i]
+		if w.valid && w.key == k {
+			w.valid = false
+			return true
+		}
+	}
+	return false
+}
+
+func (e *entrySet) invalidateASID(asid vmem.ASID) int {
+	n := 0
+	for i := range e.arr {
+		if e.arr[i].valid && e.arr[i].key.ASID == asid {
+			e.arr[i].valid = false
+			n++
+		}
+	}
+	return n
+}
+
+func (e *entrySet) invalidateAll() int {
+	n := 0
+	for i := range e.arr {
+		if e.arr[i].valid {
+			e.arr[i].valid = false
+			n++
+		}
+	}
+	return n
+}
+
+func (e *entrySet) occupancy() int {
+	n := 0
+	for i := range e.arr {
+		if e.arr[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// TLB is one translation lookaside buffer level with split base/large
+// entry arrays. Not safe for concurrent use.
+type TLB struct {
+	name    string
+	latency int
+	base    *entrySet
+	large   *entrySet
+	stats   Stats
+}
+
+// Config describes one TLB level's geometry.
+type Config struct {
+	Name         string
+	BaseEntries  int
+	BaseWays     int // 0 or BaseEntries => fully associative
+	LargeEntries int
+	LargeWays    int // 0 or LargeEntries => fully associative
+	Latency      int // cycles per lookup
+}
+
+// New builds a TLB level.
+func New(cfg Config) (*TLB, error) {
+	bw := cfg.BaseWays
+	if bw == 0 {
+		bw = cfg.BaseEntries
+	}
+	lw := cfg.LargeWays
+	if lw == 0 {
+		lw = cfg.LargeEntries
+	}
+	b, err := newEntrySet(cfg.BaseEntries, bw)
+	if err != nil {
+		return nil, fmt.Errorf("%s base: %w", cfg.Name, err)
+	}
+	l, err := newEntrySet(cfg.LargeEntries, lw)
+	if err != nil {
+		return nil, fmt.Errorf("%s large: %w", cfg.Name, err)
+	}
+	return &TLB{name: cfg.Name, latency: cfg.Latency, base: b, large: l}, nil
+}
+
+// MustNew is New but panics on bad geometry.
+func MustNew(cfg Config) *TLB {
+	t, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Name returns the diagnostic name.
+func (t *TLB) Name() string { return t.name }
+
+// Latency returns the lookup latency in cycles.
+func (t *TLB) Latency() int { return t.latency }
+
+// Stats returns a snapshot of the counters.
+func (t *TLB) Stats() Stats { return t.stats }
+
+// LookupLarge probes the large-page array for (asid, large VPN of va).
+func (t *TLB) LookupLarge(asid vmem.ASID, va vmem.VirtAddr) (vmem.PhysAddr, bool) {
+	frame, ok := t.large.lookup(Key{asid, va.LargePageNumber()})
+	if ok {
+		t.stats.LargeHits++
+	} else {
+		t.stats.LargeMisses++
+	}
+	return frame, ok
+}
+
+// LookupBase probes the base-page array for (asid, base VPN of va).
+func (t *TLB) LookupBase(asid vmem.ASID, va vmem.VirtAddr) (vmem.PhysAddr, bool) {
+	frame, ok := t.base.lookup(Key{asid, va.BasePageNumber()})
+	if ok {
+		t.stats.BaseHits++
+	} else {
+		t.stats.BaseMisses++
+	}
+	return frame, ok
+}
+
+// InsertBase caches a base translation (frame = base frame address).
+func (t *TLB) InsertBase(asid vmem.ASID, va vmem.VirtAddr, frame vmem.PhysAddr) {
+	t.base.insert(Key{asid, va.BasePageNumber()}, frame)
+	t.stats.Insertions++
+}
+
+// InsertLarge caches a large translation (frame = large frame address).
+func (t *TLB) InsertLarge(asid vmem.ASID, va vmem.VirtAddr, frame vmem.PhysAddr) {
+	t.large.insert(Key{asid, va.LargePageNumber()}, frame)
+	t.stats.Insertions++
+}
+
+// ProbeBase reports base-array residency without touching LRU or stats.
+func (t *TLB) ProbeBase(asid vmem.ASID, va vmem.VirtAddr) bool {
+	return t.base.probe(Key{asid, va.BasePageNumber()})
+}
+
+// ProbeLarge reports large-array residency without touching LRU or stats.
+func (t *TLB) ProbeLarge(asid vmem.ASID, va vmem.VirtAddr) bool {
+	return t.large.probe(Key{asid, va.LargePageNumber()})
+}
+
+// FlushLargeEntry removes the large-page entry for va's region, as
+// required when a coalesced page is splintered (§4.4). It returns whether
+// an entry was dropped.
+func (t *TLB) FlushLargeEntry(asid vmem.ASID, va vmem.VirtAddr) bool {
+	ok := t.large.invalidate(Key{asid, va.LargePageNumber()})
+	if ok {
+		t.stats.Flushes++
+	}
+	return ok
+}
+
+// FlushBaseEntry removes the base-page entry for va, used when CAC
+// migrates a base page during compaction.
+func (t *TLB) FlushBaseEntry(asid vmem.ASID, va vmem.VirtAddr) bool {
+	ok := t.base.invalidate(Key{asid, va.BasePageNumber()})
+	if ok {
+		t.stats.Flushes++
+	}
+	return ok
+}
+
+// FlushASID drops every entry belonging to one protection domain.
+func (t *TLB) FlushASID(asid vmem.ASID) int {
+	n := t.base.invalidateASID(asid) + t.large.invalidateASID(asid)
+	t.stats.Flushes += uint64(n)
+	return n
+}
+
+// FlushAll empties both arrays (full TLB shootdown).
+func (t *TLB) FlushAll() int {
+	n := t.base.invalidateAll() + t.large.invalidateAll()
+	t.stats.Flushes += uint64(n)
+	return n
+}
+
+// Occupancy returns the number of valid base and large entries.
+func (t *TLB) Occupancy() (baseEntries, largeEntries int) {
+	return t.base.occupancy(), t.large.occupancy()
+}
+
+// PortGate models a fixed number of lookup ports per cycle on a shared
+// TLB: the (p+1)-th request in a cycle slips to the next cycle.
+type PortGate struct {
+	ports     int
+	cycle     uint64
+	usedInCyc int
+}
+
+// NewPortGate builds a gate admitting ports lookups per cycle.
+func NewPortGate(ports int) *PortGate {
+	if ports <= 0 {
+		ports = 1
+	}
+	return &PortGate{ports: ports}
+}
+
+// Admit returns the cycle at which a request arriving at now actually
+// begins service, accounting for port contention.
+func (g *PortGate) Admit(now uint64) uint64 {
+	if now > g.cycle {
+		g.cycle = now
+		g.usedInCyc = 0
+	}
+	// Service cycle is g.cycle (>= now) with usedInCyc ports consumed.
+	for g.usedInCyc >= g.ports {
+		g.cycle++
+		g.usedInCyc = 0
+	}
+	g.usedInCyc++
+	return g.cycle
+}

@@ -1,0 +1,232 @@
+// Package trace records the memory-management events of a simulation run
+// — far-faults, page walks, coalesce/splinter/compaction operations, TLB
+// shootdowns — with their cycle timestamps, and can export them as JSON
+// or summarize them into per-interval activity profiles. Traces are how
+// we inspected the simulator while reproducing the paper, and they give
+// library users visibility into what a memory manager actually did.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/vmem"
+)
+
+// Kind enumerates traced event types.
+type Kind uint8
+
+const (
+	// EvFarFault is a demand-paging transfer start.
+	EvFarFault Kind = iota
+	// EvWalk is a page table walk completion.
+	EvWalk
+	// EvCoalesce is a region promotion to a large page.
+	EvCoalesce
+	// EvSplinter is a large page demotion to base pages.
+	EvSplinter
+	// EvCompaction is one CAC splinter+compact operation.
+	EvCompaction
+	// EvMigration is one base-page move (CAC or migrating coalescer).
+	EvMigration
+	// EvFlush is a TLB shootdown (large entry, base entry, or full).
+	EvFlush
+	// EvAlloc is an en-masse virtual allocation.
+	EvAlloc
+	// EvFree is a virtual deallocation.
+	EvFree
+	numKinds
+)
+
+var kindNames = [...]string{
+	"far-fault", "walk", "coalesce", "splinter", "compaction",
+	"migration", "flush", "alloc", "free",
+}
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// MarshalJSON encodes the kind as its name.
+func (k Kind) MarshalJSON() ([]byte, error) { return json.Marshal(k.String()) }
+
+// UnmarshalJSON decodes a kind name.
+func (k *Kind) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	for i, n := range kindNames {
+		if n == s {
+			*k = Kind(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("trace: unknown event kind %q", s)
+}
+
+// Event is one recorded management event.
+type Event struct {
+	Cycle uint64        `json:"cycle"`
+	Kind  Kind          `json:"kind"`
+	ASID  vmem.ASID     `json:"asid,omitempty"`
+	VA    vmem.VirtAddr `json:"va,omitempty"`
+	// Size carries a byte count for alloc/free/fault events.
+	Size uint64 `json:"size,omitempty"`
+	// Latency carries cycles for walk/fault events.
+	Latency uint64 `json:"latency,omitempty"`
+}
+
+// Recorder accumulates events. The zero value is a disabled recorder
+// (nil-safe Record); use New for an active one.
+type Recorder struct {
+	events []Event
+	limit  int
+	drops  uint64
+}
+
+// New builds a recorder holding at most limit events (0 = 1<<20).
+func New(limit int) *Recorder {
+	if limit <= 0 {
+		limit = 1 << 20
+	}
+	return &Recorder{limit: limit}
+}
+
+// Record appends an event. Nil recorders ignore it. Past the limit,
+// events are counted but dropped.
+func (r *Recorder) Record(ev Event) {
+	if r == nil {
+		return
+	}
+	if len(r.events) >= r.limit {
+		r.drops++
+		return
+	}
+	r.events = append(r.events, ev)
+}
+
+// Len returns the number of retained events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.events)
+}
+
+// Dropped returns the number of events beyond the limit.
+func (r *Recorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.drops
+}
+
+// Events returns the retained events in record order.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	return r.events
+}
+
+// WriteJSON streams the trace as a JSON array.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(r.Events())
+}
+
+// ReadJSON loads a trace previously written by WriteJSON.
+func ReadJSON(rd io.Reader) ([]Event, error) {
+	var evs []Event
+	if err := json.NewDecoder(rd).Decode(&evs); err != nil {
+		return nil, err
+	}
+	return evs, nil
+}
+
+// Summary aggregates a trace.
+type Summary struct {
+	Counts       map[string]uint64 `json:"counts"`
+	FirstCycle   uint64            `json:"firstCycle"`
+	LastCycle    uint64            `json:"lastCycle"`
+	AvgWalkLat   float64           `json:"avgWalkLatency"`
+	AvgFaultLat  float64           `json:"avgFaultLatency"`
+	BytesAlloced uint64            `json:"bytesAllocated"`
+	BytesFreed   uint64            `json:"bytesFreed"`
+}
+
+// Summarize aggregates events into a Summary.
+func Summarize(evs []Event) Summary {
+	s := Summary{Counts: make(map[string]uint64)}
+	var walkLat, walkN, faultLat, faultN uint64
+	for i, ev := range evs {
+		s.Counts[ev.Kind.String()]++
+		if i == 0 || ev.Cycle < s.FirstCycle {
+			s.FirstCycle = ev.Cycle
+		}
+		if ev.Cycle > s.LastCycle {
+			s.LastCycle = ev.Cycle
+		}
+		switch ev.Kind {
+		case EvWalk:
+			walkLat += ev.Latency
+			walkN++
+		case EvFarFault:
+			faultLat += ev.Latency
+			faultN++
+		case EvAlloc:
+			s.BytesAlloced += ev.Size
+		case EvFree:
+			s.BytesFreed += ev.Size
+		}
+	}
+	if walkN > 0 {
+		s.AvgWalkLat = float64(walkLat) / float64(walkN)
+	}
+	if faultN > 0 {
+		s.AvgFaultLat = float64(faultLat) / float64(faultN)
+	}
+	return s
+}
+
+// Histogram buckets event counts of one kind over fixed cycle intervals,
+// for activity-over-time profiles.
+func Histogram(evs []Event, kind Kind, bucketCycles uint64) []uint64 {
+	if bucketCycles == 0 || len(evs) == 0 {
+		return nil
+	}
+	var maxCycle uint64
+	for _, ev := range evs {
+		if ev.Cycle > maxCycle {
+			maxCycle = ev.Cycle
+		}
+	}
+	out := make([]uint64, maxCycle/bucketCycles+1)
+	for _, ev := range evs {
+		if ev.Kind == kind {
+			out[ev.Cycle/bucketCycles]++
+		}
+	}
+	return out
+}
+
+// ByKind splits a trace into per-kind slices, preserving order.
+func ByKind(evs []Event) map[Kind][]Event {
+	out := make(map[Kind][]Event)
+	for _, ev := range evs {
+		out[ev.Kind] = append(out[ev.Kind], ev)
+	}
+	return out
+}
+
+// SortByCycle sorts events by cycle (stable on ties).
+func SortByCycle(evs []Event) {
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].Cycle < evs[j].Cycle })
+}

@@ -1,0 +1,167 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(Event{Cycle: 1, Kind: EvWalk})
+	if r.Len() != 0 || r.Dropped() != 0 || r.Events() != nil {
+		t.Error("nil recorder misbehaved")
+	}
+}
+
+func TestRecordAndLimit(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 5; i++ {
+		r.Record(Event{Cycle: uint64(i), Kind: EvWalk})
+	}
+	if r.Len() != 3 {
+		t.Errorf("Len = %d, want 3", r.Len())
+	}
+	if r.Dropped() != 2 {
+		t.Errorf("Dropped = %d, want 2", r.Dropped())
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		if k.String() == "unknown" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if Kind(200).String() != "unknown" {
+		t.Error("out-of-range kind named")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	r := New(0)
+	r.Record(Event{Cycle: 10, Kind: EvFarFault, ASID: 1, VA: 0x1000, Size: 4096, Latency: 56100})
+	r.Record(Event{Cycle: 20, Kind: EvCoalesce, ASID: 2, VA: 0x200000})
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 2 {
+		t.Fatalf("%d events after round trip", len(evs))
+	}
+	if evs[0] != r.Events()[0] || evs[1] != r.Events()[1] {
+		t.Errorf("round trip mismatch: %+v vs %+v", evs, r.Events())
+	}
+}
+
+func TestUnmarshalRejectsUnknownKind(t *testing.T) {
+	var k Kind
+	if err := k.UnmarshalJSON([]byte(`"bogus"`)); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if err := k.UnmarshalJSON([]byte(`42`)); err == nil {
+		t.Error("non-string kind accepted")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	evs := []Event{
+		{Cycle: 100, Kind: EvWalk, Latency: 200},
+		{Cycle: 50, Kind: EvWalk, Latency: 400},
+		{Cycle: 70, Kind: EvFarFault, Latency: 56100, Size: 4096},
+		{Cycle: 90, Kind: EvAlloc, Size: 1 << 20},
+		{Cycle: 95, Kind: EvFree, Size: 4096},
+	}
+	s := Summarize(evs)
+	if s.Counts["walk"] != 2 || s.Counts["far-fault"] != 1 {
+		t.Errorf("counts = %v", s.Counts)
+	}
+	if s.FirstCycle != 50 || s.LastCycle != 100 {
+		t.Errorf("cycle range = [%d, %d]", s.FirstCycle, s.LastCycle)
+	}
+	if s.AvgWalkLat != 300 {
+		t.Errorf("AvgWalkLat = %f", s.AvgWalkLat)
+	}
+	if s.AvgFaultLat != 56100 {
+		t.Errorf("AvgFaultLat = %f", s.AvgFaultLat)
+	}
+	if s.BytesAlloced != 1<<20 || s.BytesFreed != 4096 {
+		t.Errorf("bytes = %d/%d", s.BytesAlloced, s.BytesFreed)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if len(s.Counts) != 0 || s.AvgWalkLat != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	evs := []Event{
+		{Cycle: 0, Kind: EvWalk},
+		{Cycle: 99, Kind: EvWalk},
+		{Cycle: 100, Kind: EvWalk},
+		{Cycle: 250, Kind: EvWalk},
+		{Cycle: 250, Kind: EvFarFault}, // different kind, excluded
+	}
+	h := Histogram(evs, EvWalk, 100)
+	want := []uint64{2, 1, 1}
+	if len(h) != len(want) {
+		t.Fatalf("histogram = %v", h)
+	}
+	for i := range want {
+		if h[i] != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, h[i], want[i])
+		}
+	}
+	if Histogram(evs, EvWalk, 0) != nil {
+		t.Error("zero bucket size should return nil")
+	}
+	if Histogram(nil, EvWalk, 10) != nil {
+		t.Error("empty trace should return nil")
+	}
+}
+
+func TestByKindAndSort(t *testing.T) {
+	evs := []Event{
+		{Cycle: 30, Kind: EvWalk},
+		{Cycle: 10, Kind: EvFlush},
+		{Cycle: 20, Kind: EvWalk},
+	}
+	m := ByKind(evs)
+	if len(m[EvWalk]) != 2 || len(m[EvFlush]) != 1 {
+		t.Errorf("ByKind = %v", m)
+	}
+	SortByCycle(evs)
+	if evs[0].Cycle != 10 || evs[2].Cycle != 30 {
+		t.Errorf("sorted = %+v", evs)
+	}
+}
+
+// Property: histogram bucket totals equal the count of that kind.
+func TestHistogramTotalsProperty(t *testing.T) {
+	prop := func(cycles []uint16, bucket uint8) bool {
+		if len(cycles) == 0 {
+			return true
+		}
+		b := uint64(bucket%100) + 1
+		evs := make([]Event, len(cycles))
+		for i, c := range cycles {
+			evs[i] = Event{Cycle: uint64(c), Kind: EvWalk}
+		}
+		h := Histogram(evs, EvWalk, b)
+		var total uint64
+		for _, n := range h {
+			total += n
+		}
+		return total == uint64(len(cycles))
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

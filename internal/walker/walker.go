@@ -1,0 +1,158 @@
+// Package walker implements the shared, highly-threaded page table walker
+// (paper §3.1): a fixed number of walk slots (64 by default) that each
+// perform the serialized, dependent memory accesses of a 4-level page
+// table walk through the shared L2 cache and DRAM. Duplicate in-flight
+// walks for the same (ASID, base page) coalesce MSHR-style, and walks
+// beyond the slot limit queue.
+package walker
+
+import (
+	"repro/internal/pagetable"
+	"repro/internal/vmem"
+)
+
+// TableSet resolves per-application page tables for the walker. The memory
+// manager implements it.
+type TableSet interface {
+	// WalkAddrs returns the PTE addresses a hardware walk of (asid, va)
+	// reads, in dependency order.
+	WalkAddrs(asid vmem.ASID, va vmem.VirtAddr) []vmem.PhysAddr
+	// Translate resolves (asid, va) from the page table.
+	Translate(asid vmem.ASID, va vmem.VirtAddr) (pagetable.Translation, bool)
+}
+
+// AccessFunc performs one memory access of a walk and invokes done at its
+// completion cycle. level is the page-table level being read (0 = root);
+// the memory system may treat hot upper levels and thrashy leaf levels
+// differently.
+type AccessFunc func(now uint64, addr vmem.PhysAddr, level int, done func(cycle uint64))
+
+// DoneFunc receives the walk result. ok is false when the page is not
+// mapped (a page fault: the manager must handle it and retry).
+type DoneFunc func(cycle uint64, tr pagetable.Translation, ok bool)
+
+type key struct {
+	asid vmem.ASID
+	vpn  uint64
+}
+
+type request struct {
+	asid vmem.ASID
+	va   vmem.VirtAddr
+}
+
+// Stats aggregates walker activity.
+type Stats struct {
+	Walks          uint64 // walks actually performed
+	Coalesced      uint64 // requests merged into an in-flight walk
+	Faults         uint64 // walks that found no mapping
+	MemoryAccesses uint64
+	TotalLatency   uint64 // sum of per-walk latencies, for averaging
+	MaxQueued      int
+}
+
+// AvgLatency returns the mean walk latency in cycles.
+func (s Stats) AvgLatency() float64 {
+	if s.Walks == 0 {
+		return 0
+	}
+	return float64(s.TotalLatency) / float64(s.Walks)
+}
+
+// Walker is the shared page table walker. Not safe for concurrent use.
+type Walker struct {
+	slots    int
+	active   int
+	tables   TableSet
+	access   AccessFunc
+	pending  []request
+	inflight map[key][]DoneFunc
+	stats    Stats
+}
+
+// New builds a walker with the given concurrency wired to the table set
+// and the memory access path.
+func New(slots int, tables TableSet, access AccessFunc) *Walker {
+	if slots <= 0 {
+		slots = 1
+	}
+	return &Walker{
+		slots:    slots,
+		tables:   tables,
+		access:   access,
+		inflight: make(map[key][]DoneFunc),
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (w *Walker) Stats() Stats { return w.stats }
+
+// Active returns the number of walks currently occupying slots.
+func (w *Walker) Active() int { return w.active }
+
+// Queued returns the number of walk requests waiting for a slot.
+func (w *Walker) Queued() int { return len(w.pending) }
+
+// Walk requests a translation of (asid, va). done always fires exactly
+// once. Requests for a base page with a walk already in flight coalesce.
+func (w *Walker) Walk(now uint64, asid vmem.ASID, va vmem.VirtAddr, done DoneFunc) {
+	k := key{asid, va.BasePageNumber()}
+	if waiters, ok := w.inflight[k]; ok {
+		w.inflight[k] = append(waiters, done)
+		w.stats.Coalesced++
+		return
+	}
+	w.inflight[k] = []DoneFunc{done}
+	if w.active >= w.slots {
+		w.pending = append(w.pending, request{asid, va})
+		if len(w.pending) > w.stats.MaxQueued {
+			w.stats.MaxQueued = len(w.pending)
+		}
+		return
+	}
+	w.start(now, request{asid, va})
+}
+
+func (w *Walker) start(now uint64, r request) {
+	w.active++
+	w.stats.Walks++
+	addrs := w.tables.WalkAddrs(r.asid, r.va)
+	w.step(now, now, r, addrs, 0)
+}
+
+// step issues the i-th dependent PTE access; when the chain ends it
+// completes the walk.
+func (w *Walker) step(start, now uint64, r request, addrs []vmem.PhysAddr, i int) {
+	if i >= len(addrs) {
+		w.finish(start, now, r)
+		return
+	}
+	w.stats.MemoryAccesses++
+	w.access(now, addrs[i], i, func(cycle uint64) {
+		w.step(start, cycle, r, addrs, i+1)
+	})
+}
+
+func (w *Walker) finish(start, now uint64, r request) {
+	w.active--
+	w.stats.TotalLatency += now - start
+	tr, ok := w.tables.Translate(r.asid, r.va)
+	if !ok {
+		w.stats.Faults++
+	}
+	k := key{r.asid, r.va.BasePageNumber()}
+	waiters := w.inflight[k]
+	delete(w.inflight, k)
+	// Start a queued walk before delivering results so the freed slot is
+	// reused this cycle.
+	if len(w.pending) > 0 && w.active < w.slots {
+		next := w.pending[0]
+		w.pending = w.pending[1:]
+		w.start(now, next)
+	}
+	for _, d := range waiters {
+		if d != nil {
+			d(now, tr, ok)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package workload
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/vmem"
+)
+
+// ReplaySpec builds an application model that replays a recorded sequence
+// of working-set byte offsets instead of generating a synthetic pattern.
+// This is how users drive the simulator with their own application traces
+// (e.g. extracted from a binary-instrumentation run): offsets index into
+// the app's buffers exactly like synthetic stream offsets do.
+//
+// Warps partition the trace round-robin: warp w of W replays offsets
+// w, w+W, w+2W, … so the aggregate access stream equals the trace.
+func ReplaySpec(name string, offsets []uint64, computePerMem int) (Spec, error) {
+	if name == "" {
+		return Spec{}, errors.New("workload: replay spec needs a name")
+	}
+	if len(offsets) == 0 {
+		return Spec{}, errors.New("workload: replay spec needs at least one offset")
+	}
+	var maxOff uint64
+	for _, o := range offsets {
+		if o > maxOff {
+			maxOff = o
+		}
+	}
+	ws := vmem.AlignUp(maxOff+1, vmem.BasePageSize)
+	if ws < vmem.LargePageSize {
+		ws = vmem.LargePageSize
+	}
+	return Spec{
+		Name: name,
+		// Working sets of replay specs are never rescaled: the trace
+		// offsets are absolute. ScaledWorkingSet handles this via the
+		// replay marker below.
+		WorkingSetBytes: ws,
+		ComputePerMem:   computePerMem,
+		AccessesPerWarp: len(offsets), // upper bound; per-warp share is less
+		Divergence:      1,
+		replay:          offsets,
+	}, nil
+}
+
+// IsReplay reports whether the spec replays a recorded trace.
+func (s Spec) IsReplay() bool { return s.replay != nil }
+
+// LoadOffsetsJSON reads a JSON array of byte offsets (e.g. produced by an
+// external tracing tool) for ReplaySpec.
+func LoadOffsetsJSON(r io.Reader) ([]uint64, error) {
+	var offsets []uint64
+	if err := json.NewDecoder(r).Decode(&offsets); err != nil {
+		return nil, fmt.Errorf("workload: decoding offsets: %w", err)
+	}
+	return offsets, nil
+}
+
+// replayGen state is embedded in StreamGen: when spec.replay is set, Next
+// walks the warp's round-robin share of the trace.
+func (g *StreamGen) replayNext(buf []uint64) int {
+	if g.replayPos >= len(g.spec.replay) {
+		return 0
+	}
+	g.remaining--
+	buf[0] = g.spec.replay[g.replayPos] % g.ws
+	g.replayPos += g.replayStride
+	return 1
+}

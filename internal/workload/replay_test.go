@@ -1,0 +1,105 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/vmem"
+)
+
+func TestReplaySpecValidation(t *testing.T) {
+	if _, err := ReplaySpec("", []uint64{1}, 2); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := ReplaySpec("t", nil, 2); err == nil {
+		t.Error("empty trace accepted")
+	}
+}
+
+func TestReplaySpecWorkingSet(t *testing.T) {
+	s, err := ReplaySpec("t", []uint64{0, 5 << 20}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.IsReplay() {
+		t.Error("IsReplay false")
+	}
+	// Working set covers the max offset, page aligned, and never scales.
+	if s.WorkingSetBytes < 5<<20 {
+		t.Errorf("WS %d does not cover max offset", s.WorkingSetBytes)
+	}
+	cfg := config.Default()
+	if s.ScaledWorkingSet(cfg) != s.WorkingSetBytes {
+		t.Error("replay working set was rescaled")
+	}
+	if s.WorkingSetBytes%vmem.BasePageSize != 0 {
+		t.Error("WS not page aligned")
+	}
+}
+
+func TestReplayPartitioning(t *testing.T) {
+	offsets := make([]uint64, 100)
+	for i := range offsets {
+		offsets[i] = uint64(i * 64)
+	}
+	s, err := ReplaySpec("t", offsets, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := config.FastTest()
+	// Three warps partition the trace round-robin; union == trace.
+	seen := map[uint64]int{}
+	buf := make([]uint64, 4)
+	for w := 0; w < 3; w++ {
+		g := s.NewStream(cfg, w, 3, 0)
+		for {
+			n := g.Next(buf)
+			if n == 0 {
+				break
+			}
+			seen[buf[0]]++
+		}
+	}
+	if len(seen) != 100 {
+		t.Fatalf("replayed %d distinct offsets, want 100", len(seen))
+	}
+	for off, n := range seen {
+		if n != 1 {
+			t.Errorf("offset %d replayed %d times", off, n)
+		}
+	}
+}
+
+func TestReplayDeterministic(t *testing.T) {
+	s, _ := ReplaySpec("t", []uint64{10, 20, 30, 40}, 0)
+	cfg := config.FastTest()
+	g1 := s.NewStream(cfg, 0, 2, 1)
+	g2 := s.NewStream(cfg, 0, 2, 99) // seed must not matter for replay
+	buf1, buf2 := make([]uint64, 1), make([]uint64, 1)
+	for {
+		n1, n2 := g1.Next(buf1), g2.Next(buf2)
+		if n1 != n2 {
+			t.Fatal("divergent lengths")
+		}
+		if n1 == 0 {
+			break
+		}
+		if buf1[0] != buf2[0] {
+			t.Fatal("replay depends on seed")
+		}
+	}
+}
+
+func TestLoadOffsetsJSON(t *testing.T) {
+	offs, err := LoadOffsetsJSON(strings.NewReader("[0, 4096, 8192]"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(offs) != 3 || offs[2] != 8192 {
+		t.Errorf("offsets = %v", offs)
+	}
+	if _, err := LoadOffsetsJSON(strings.NewReader("not json")); err == nil {
+		t.Error("bad JSON accepted")
+	}
+}

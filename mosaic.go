@@ -1,0 +1,192 @@
+// Package mosaic is a from-scratch Go reproduction of "Mosaic: A GPU
+// Memory Manager with Application-Transparent Support for Multiple Page
+// Sizes" (Ausavarungnirun et al., MICRO-50, 2017).
+//
+// It bundles a cycle-approximate multi-application GPU simulator (SIMT
+// warps, two-level TLBs, a highly-threaded page table walker, caches,
+// FR-FCFS DRAM, and a PCIe-like demand-paging bus) together with the four
+// memory managers the paper evaluates:
+//
+//   - GPUMMU4K — the state-of-the-art baseline with 4KB pages only;
+//   - GPUMMU2M — memory managed exclusively at 2MB granularity;
+//   - Mosaic   — CoCoA + the In-Place Coalescer + CAC (the paper's
+//     contribution);
+//   - IdealTLB — an upper bound where every translation hits.
+//
+// # Quick start
+//
+//	cfg := mosaic.EvalConfig()
+//	wl, _ := mosaic.Pair("HS", "CONS")
+//	res, err := mosaic.Run(cfg, wl, mosaic.SimOptions{Policy: mosaic.Mosaic})
+//
+// For whole-paper reproductions use the Harness, which has one method per
+// evaluation figure/table (Fig3 … Fig16b, Table2); see EXPERIMENTS.md for
+// the recorded paper-vs-measured comparison.
+package mosaic
+
+import (
+	"io"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Config describes the simulated GPU (paper Table 1 by default).
+type Config = config.Config
+
+// DefaultConfig returns the paper's Table-1 system configuration.
+func DefaultConfig() Config { return config.Default() }
+
+// EvalConfig returns the configuration the experiment harness uses:
+// Table-1 geometry with reduced warp counts and scaled working sets so
+// the full suite completes in minutes.
+func EvalConfig() Config { return config.Eval() }
+
+// FastTestConfig returns a small configuration for smoke tests.
+func FastTestConfig() Config { return config.FastTest() }
+
+// Policy selects a memory manager.
+type Policy = core.Policy
+
+// The four evaluated memory managers.
+const (
+	GPUMMU4K = core.GPUMMU4K
+	GPUMMU2M = core.GPUMMU2M
+	Mosaic   = core.Mosaic
+	IdealTLB = core.IdealTLB
+)
+
+// ManagerOptions exposes the full memory-manager option set, including
+// the ablation knobs (migrating coalescer, forced TLB flush on coalesce,
+// CAC variants). Use SimOptions.MutateManager to adjust them per run.
+type ManagerOptions = core.Options
+
+// CAC (Contiguity-Aware Compaction) variants (§6.4).
+const (
+	CACOff      = core.CACOff
+	CACOn       = core.CACOn
+	CACBulkCopy = core.CACBulkCopy
+	CACIdeal    = core.CACIdeal
+)
+
+// Coalescing modes, including the migrate-then-coalesce ablation of the
+// conventional design (Fig. 6a).
+const (
+	CoalesceOff     = core.CoalesceOff
+	CoalesceInPlace = core.CoalesceInPlace
+	CoalesceMigrate = core.CoalesceMigrate
+)
+
+// Workload is a set of applications to execute concurrently.
+type Workload = workload.Workload
+
+// AppSpec is one synthetic application model.
+type AppSpec = workload.Spec
+
+// Suite returns the 27 application models of the paper's evaluation.
+func Suite() []AppSpec { return workload.Suite() }
+
+// AppByName looks up one suite application.
+func AppByName(name string) (AppSpec, error) { return workload.ByName(name) }
+
+// Homogeneous builds the paper's homogeneous workloads: n copies of each
+// suite application.
+func Homogeneous(n int) []Workload { return workload.Homogeneous(n) }
+
+// Heterogeneous builds count workloads of n distinct random applications.
+func Heterogeneous(n, count int, seed int64) []Workload {
+	return workload.Heterogeneous(n, count, seed)
+}
+
+// Pair builds a named two-application workload.
+func Pair(a, b string) (Workload, error) { return workload.Pair(a, b) }
+
+// SimOptions configures one simulation run.
+type SimOptions = sim.Options
+
+// Results reports one simulation run.
+type Results = sim.Results
+
+// AppResult reports one application's outcome within a run.
+type AppResult = sim.AppResult
+
+// Run executes one workload under the given policy and returns the
+// results (cycles, per-app IPC, TLB hit rates, component statistics).
+func Run(cfg Config, wl Workload, opt SimOptions) (Results, error) {
+	s, err := sim.New(cfg, wl, opt)
+	if err != nil {
+		return Results{}, err
+	}
+	return s.Run()
+}
+
+// Harness regenerates the paper's evaluation figures and tables.
+type Harness = harness.Harness
+
+// NewHarness returns a harness over the full 27-application suite with
+// the paper's workload counts.
+func NewHarness(cfg Config) *Harness { return harness.New(cfg) }
+
+// NewQuickHarness returns a harness over a representative application
+// subset, for smoke runs and benchmarks.
+func NewQuickHarness(cfg Config) *Harness { return harness.NewQuick(cfg) }
+
+// Per-experiment result types (one per paper figure/table).
+type (
+	// Fig3Result is the page-size translation study of Figure 3.
+	Fig3Result = harness.Fig3Result
+	// Fig4Result is the demand-paging concurrency study of Figure 4.
+	Fig4Result = harness.Fig4Result
+	// BloatResult is the §3.2 memory-bloat study.
+	BloatResult = harness.BloatResult
+	// SpeedupResult is a weighted-speedup study (Figures 8 and 9).
+	SpeedupResult = harness.SpeedupResult
+	// Fig10Result is the selected-pairs study of Figure 10.
+	Fig10Result = harness.Fig10Result
+	// Fig11Result is the per-application IPC distribution of Figure 11.
+	Fig11Result = harness.Fig11Result
+	// Fig12Result is the demand-paging comparison of Figure 12.
+	Fig12Result = harness.Fig12Result
+	// Fig13Result is the TLB hit-rate study of Figure 13.
+	Fig13Result = harness.Fig13Result
+	// SweepResult is a TLB-size sensitivity sweep (Figures 14 and 15).
+	SweepResult = harness.SweepResult
+	// Fig16Result is a CAC fragmentation stress study.
+	Fig16Result = harness.Fig16Result
+	// Table2Result is the bloat-vs-occupancy study of Table 2.
+	Table2Result = harness.Table2Result
+)
+
+// Physical allocation policies (for ablations via ManagerOptions).
+const (
+	// AllocBaseline is the shared-cursor allocator of Fig. 1a that mixes
+	// applications within large frames.
+	AllocBaseline = core.AllocBaseline
+	// AllocCoCoA is Mosaic's contiguity-conserving allocator.
+	AllocCoCoA = core.AllocCoCoA
+)
+
+// TraceEvent is one recorded memory-management event (far-fault, walk,
+// coalesce, splinter, compaction, migration, alloc, free). Enable
+// recording with SimOptions.TraceLimit; the events land in Results.Trace.
+type TraceEvent = trace.Event
+
+// TraceSummary aggregates a trace (event counts, average latencies).
+type TraceSummary = trace.Summary
+
+// SummarizeTrace aggregates recorded events into a TraceSummary.
+func SummarizeTrace(evs []TraceEvent) TraceSummary { return trace.Summarize(evs) }
+
+// ReplaySpec builds an application model that replays recorded working-set
+// byte offsets instead of a synthetic pattern — the hook for driving the
+// simulator with real application traces.
+func ReplaySpec(name string, offsets []uint64, computePerMem int) (AppSpec, error) {
+	return workload.ReplaySpec(name, offsets, computePerMem)
+}
+
+// LoadOffsetsJSON reads a JSON array of byte offsets for ReplaySpec.
+func LoadOffsetsJSON(r io.Reader) ([]uint64, error) { return workload.LoadOffsetsJSON(r) }
