@@ -7,6 +7,7 @@
 //	mosaic-bench                 # quick pass over every figure
 //	mosaic-bench -fig 8,9        # only Figures 8 and 9
 //	mosaic-bench -full -fig 16   # full-suite CAC stress study
+//	mosaic-bench -fig 8 -jobs 8  # same bytes, 8 simulations in flight
 package main
 
 import (
@@ -28,6 +29,7 @@ func main() {
 		csvDir  = flag.String("csv", "", "also write each experiment's table as CSV into this directory")
 		chart   = flag.Bool("chart", false, "also draw each experiment as an ASCII bar chart")
 		verbose = flag.Bool("v", false, "print one line per simulation run")
+		jobs    = flag.Int("jobs", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = sequential); output is identical for every value")
 	)
 	flag.Parse()
 
@@ -41,6 +43,7 @@ func main() {
 	} else {
 		h = mosaic.NewQuickHarness(cfg)
 	}
+	h.Jobs = *jobs
 	if *verbose {
 		h.Progress = os.Stderr
 	}

@@ -27,12 +27,7 @@ var dimensions = map[string]struct {
 }{
 	"l1base":  {"per-SM L1 TLB base-page entries", func(c *mosaic.Config, v int) { c.L1TLBBaseEntries = v }},
 	"l1large": {"per-SM L1 TLB large-page entries", func(c *mosaic.Config, v int) { c.L1TLBLargeEntries = v }},
-	"l2base": {"shared L2 TLB base-page entries", func(c *mosaic.Config, v int) {
-		c.L2TLBBaseEntries = v
-		if v < c.L2TLBBaseWays {
-			c.L2TLBBaseWays = v
-		}
-	}},
+	"l2base":  {"shared L2 TLB base-page entries", func(c *mosaic.Config, v int) { c.L2TLBBaseEntries = v }},
 	"l2large": {"shared L2 TLB large-page entries", func(c *mosaic.Config, v int) { c.L2TLBLargeEntries = v }},
 	"walker":  {"page table walker concurrency", func(c *mosaic.Config, v int) { c.WalkerConcurrency = v }},
 	"warps":   {"warps per SM", func(c *mosaic.Config, v int) { c.WarpsPerSM = v }},
@@ -49,6 +44,7 @@ func main() {
 		seed     = flag.Int64("seed", 42, "deterministic seed")
 		nopaging = flag.Bool("nopaging", false, "disable demand paging")
 		listDims = flag.Bool("dims", false, "list sweepable dimensions and exit")
+		jobs     = flag.Int("jobs", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = sequential); output is identical for every value")
 	)
 	flag.Parse()
 
@@ -94,29 +90,54 @@ func main() {
 		polNames = append(polNames, pols[len(pols)-1].String())
 	}
 
-	tbl := metrics.Table{
-		Title:   fmt.Sprintf("sweep of %s (%s) — total IPC", *dim, d.desc),
-		Columns: append([]string{*dim}, polNames...),
-	}
-	for _, vs := range strings.Split(*values, ",") {
+	valStrs := strings.Split(*values, ",")
+	vals := make([]int, len(valStrs))
+	for i, vs := range valStrs {
 		v, err := strconv.Atoi(strings.TrimSpace(vs))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		cfg := mosaic.EvalConfig()
-		if *nopaging {
-			cfg.IOBusEnabled = false
-		}
-		d.apply(&cfg, v)
+		vals[i] = v
+	}
+
+	// Run the whole value x policy grid on a worker pool, then assemble
+	// the table in grid order so the output matches a sequential run.
+	type cell struct {
+		ipc float64
+		err error
+	}
+	cells := make([]cell, len(vals)*len(pols))
+	r := mosaic.NewRunner(*jobs)
+	for i := range cells {
+		i := i
+		r.Submit(func() {
+			cfg := mosaic.EvalConfig()
+			if *nopaging {
+				cfg.IOBusEnabled = false
+			}
+			d.apply(&cfg, vals[i/len(pols)])
+			cfg.ClampTLBWays()
+			res, err := mosaic.Run(cfg, wl, mosaic.SimOptions{Policy: pols[i%len(pols)], Seed: *seed})
+			cells[i] = cell{ipc: res.TotalIPC(), err: err}
+		})
+	}
+	r.Wait()
+	r.Close()
+
+	tbl := metrics.Table{
+		Title:   fmt.Sprintf("sweep of %s (%s) — total IPC", *dim, d.desc),
+		Columns: append([]string{*dim}, polNames...),
+	}
+	for vi, vs := range valStrs {
 		row := []float64{}
-		for _, p := range pols {
-			res, err := mosaic.Run(cfg, wl, mosaic.SimOptions{Policy: p, Seed: *seed})
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
+		for pi := range pols {
+			c := cells[vi*len(pols)+pi]
+			if c.err != nil {
+				fmt.Fprintln(os.Stderr, c.err)
 				os.Exit(1)
 			}
-			row = append(row, res.TotalIPC())
+			row = append(row, c.ipc)
 		}
 		tbl.AddRowF(vs, row...)
 	}

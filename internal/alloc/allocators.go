@@ -110,6 +110,11 @@ func (c *CoCoA) Pool() *Pool { return c.pool }
 // Stats returns a snapshot of the counters.
 func (c *CoCoA) Stats() Stats { return c.stats }
 
+// RestoreStats seeds the counters from a snapshot, so a manager that
+// rebuilds its allocator (e.g. after Pool.PreFragment) does not lose the
+// activity accumulated by the previous instance.
+func (c *CoCoA) RestoreStats(st Stats) { c.stats = st }
+
 // FreeFrameCount returns the size of the free-frame list.
 func (c *CoCoA) FreeFrameCount() int { return len(c.freeFrames) }
 

@@ -312,3 +312,14 @@ func (c Config) WithoutDemandPaging() Config {
 	c.IOBusEnabled = false
 	return c
 }
+
+// ClampTLBWays shrinks TLB associativities that no longer fit their
+// (possibly swept-down) entry counts. Sweep helpers call it after
+// mutating entry counts so that a swept size below the default way count
+// cannot violate the entries%ways == 0 set geometry. A non-divisible
+// combination degrades to fully associative.
+func (c *Config) ClampTLBWays() {
+	if c.L2TLBBaseWays > c.L2TLBBaseEntries || c.L2TLBBaseEntries%c.L2TLBBaseWays != 0 {
+		c.L2TLBBaseWays = c.L2TLBBaseEntries
+	}
+}

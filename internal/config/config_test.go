@@ -119,3 +119,35 @@ func TestValidateRejectsBadConfigs(t *testing.T) {
 		}
 	}
 }
+
+func TestClampTLBWays(t *testing.T) {
+	// Fewer entries than ways: degrade to fully associative.
+	c := Default()
+	c.L2TLBBaseEntries = 8
+	c.ClampTLBWays()
+	if c.L2TLBBaseWays != 8 {
+		t.Errorf("ways = %d after clamping 8 entries, want 8", c.L2TLBBaseWays)
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("clamped config invalid: %v", err)
+	}
+
+	// Entries not a multiple of ways: also fully associative.
+	c = Default()
+	c.L2TLBBaseEntries = 24
+	c.ClampTLBWays()
+	if c.L2TLBBaseWays != 24 {
+		t.Errorf("ways = %d after clamping 24 entries, want 24", c.L2TLBBaseWays)
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("clamped config invalid: %v", err)
+	}
+
+	// Valid geometry is untouched.
+	c = Default()
+	c.L2TLBBaseEntries = 4096
+	c.ClampTLBWays()
+	if c.L2TLBBaseWays != 16 {
+		t.Errorf("ways = %d for a valid geometry, want 16 untouched", c.L2TLBBaseWays)
+	}
+}

@@ -134,10 +134,15 @@ func (s *System) Name() string { return s.opt.Policy.String() }
 func (s *System) Pool() *alloc.Pool { return s.pool }
 
 // RebuildFreeLists re-derives allocator free lists from the pool; call it
-// after Pool().PreFragment.
+// after Pool().PreFragment. Allocator counters survive the rebuild. The
+// baseline allocator needs no rebuild: it keeps no derived free lists —
+// every AllocBase scans the pool itself, so pre-fragmented slots are
+// already visible to it.
 func (s *System) RebuildFreeLists() {
 	if s.cocoa != nil {
+		stats := s.cocoa.Stats()
 		s.cocoa = alloc.NewCoCoA(s.pool)
+		s.cocoa.RestoreStats(stats)
 	}
 }
 

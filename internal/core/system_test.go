@@ -456,6 +456,26 @@ func TestPolicyNames(t *testing.T) {
 	}
 }
 
+func TestRebuildFreeListsPreservesAllocatorStats(t *testing.T) {
+	r := newRig(t, Mosaic, func(c *config.Config, _ *Options) { c.IOBusEnabled = false })
+	r.sys.RegisterApp(1)
+	if err := r.sys.AllocVirtual(0, 1, 0, 4<<20); err != nil {
+		t.Fatal(err)
+	}
+	before := r.sys.AllocatorStats()
+	if before.RegionAllocs == 0 {
+		t.Fatal("no allocator activity to preserve")
+	}
+	r.sys.RebuildFreeLists()
+	if got := r.sys.AllocatorStats(); got != before {
+		t.Errorf("allocator stats lost across rebuild: got %+v, want %+v", got, before)
+	}
+	// The rebuilt allocator still serves allocations.
+	if err := r.sys.AllocVirtual(0, 1, 16<<20, 2<<20); err != nil {
+		t.Fatalf("allocator broken after rebuild: %v", err)
+	}
+}
+
 func TestWalkAddrsThroughSystem(t *testing.T) {
 	r := newRig(t, Mosaic, nil)
 	r.sys.RegisterApp(1)

@@ -10,6 +10,13 @@ import (
 	"repro/internal/workload"
 )
 
+// Every experiment below follows the same three-step shape: enumerate the
+// full set of independent simulations up front, execute them across the
+// worker pool with forEach (each task writing only its own result slot),
+// then assemble means and tables sequentially in enumeration order. All
+// cross-run arithmetic happens in the assembly step, which is what keeps
+// the output byte-identical for any worker count.
+
 // ---------------------------------------------------------------- Fig. 3
 
 // Fig3Result reproduces Figure 3: single-application performance of the
@@ -24,19 +31,26 @@ type Fig3Result struct {
 
 // Fig3 regenerates Figure 3.
 func (h *Harness) Fig3() Fig3Result {
+	suite := h.suite()
+	type fig3Out struct{ n4, n2 float64 }
+	outs := make([]fig3Out, len(suite))
+	h.forEach(len(suite), func(i int) {
+		spec := suite[i]
+		wl := workload.Workload{Name: spec.Name, Apps: []workload.Spec{spec}}
+		ideal := h.mustRun(wl, core.IdealTLB, noPaging, nil).TotalIPC()
+		outs[i].n4 = h.mustRun(wl, core.GPUMMU4K, noPaging, nil).TotalIPC() / ideal
+		outs[i].n2 = h.mustRun(wl, core.GPUMMU2M, noPaging, nil).TotalIPC() / ideal
+	})
+
 	res := Fig3Result{Table: metrics.Table{
 		Title:   "Fig. 3: GPU-MMU 4KB vs 2MB, no demand paging, normalized to Ideal TLB",
 		Columns: []string{"app", "4KB/ideal", "2MB/ideal"},
 	}}
-	for _, spec := range h.suite() {
-		wl := workload.Workload{Name: spec.Name, Apps: []workload.Spec{spec}}
-		ideal := h.mustRun(wl, core.IdealTLB, noPaging, nil).TotalIPC()
-		n4 := h.mustRun(wl, core.GPUMMU4K, noPaging, nil).TotalIPC() / ideal
-		n2 := h.mustRun(wl, core.GPUMMU2M, noPaging, nil).TotalIPC() / ideal
+	for i, spec := range suite {
 		res.Apps = append(res.Apps, spec.Name)
-		res.Norm4K = append(res.Norm4K, n4)
-		res.Norm2M = append(res.Norm2M, n2)
-		res.Table.AddRowF(spec.Name, n4, n2)
+		res.Norm4K = append(res.Norm4K, outs[i].n4)
+		res.Norm2M = append(res.Norm2M, outs[i].n2)
+		res.Table.AddRowF(spec.Name, outs[i].n4, outs[i].n2)
 	}
 	res.Mean4K = metrics.Mean(res.Norm4K)
 	res.Mean2M = metrics.Mean(res.Norm2M)
@@ -59,16 +73,37 @@ func (h *Harness) Fig4(levels ...int) Fig4Result {
 	if len(levels) == 0 {
 		levels = []int{1, 2, 3, 4, 5}
 	}
+	type fig4Item struct {
+		level int // index into levels
+		wl    workload.Workload
+	}
+	var items []fig4Item
+	for li, n := range levels {
+		for _, wl := range h.homogeneous(n) {
+			items = append(items, fig4Item{li, wl})
+		}
+	}
+	type fig4Out struct{ p4, p2 float64 }
+	outs := make([]fig4Out, len(items))
+	h.forEach(len(items), func(i int) {
+		wl := items[i].wl
+		base := h.mustRun(wl, core.GPUMMU4K, noPaging, nil).TotalIPC()
+		outs[i].p4 = h.mustRun(wl, core.GPUMMU4K, nil, nil).TotalIPC() / base
+		outs[i].p2 = h.mustRun(wl, core.GPUMMU2M, nil, nil).TotalIPC() / base
+	})
+
 	res := Fig4Result{Levels: levels, Table: metrics.Table{
 		Title:   "Fig. 4: demand paging impact vs concurrency (normalized to 4KB, no paging)",
 		Columns: []string{"apps", "4KB no-paging", "4KB paging", "2MB paging"},
 	}}
-	for _, n := range levels {
+	for li, n := range levels {
 		var p4, p2 []float64
-		for _, wl := range h.homogeneous(n) {
-			base := h.mustRun(wl, core.GPUMMU4K, noPaging, nil).TotalIPC()
-			p4 = append(p4, h.mustRun(wl, core.GPUMMU4K, nil, nil).TotalIPC()/base)
-			p2 = append(p2, h.mustRun(wl, core.GPUMMU2M, nil, nil).TotalIPC()/base)
+		for i := range items {
+			if items[i].level != li {
+				continue
+			}
+			p4 = append(p4, outs[i].p4)
+			p2 = append(p2, outs[i].p2)
 		}
 		m4, m2 := metrics.Mean(p4), metrics.Mean(p2)
 		res.Paging4K = append(res.Paging4K, m4)
@@ -93,14 +128,22 @@ type BloatResult struct {
 
 // MemoryBloat2MB regenerates the §3.2 bloat numbers.
 func (h *Harness) MemoryBloat2MB() BloatResult {
+	suite := h.suite()
+	type bloatOut struct{ b2, bm float64 }
+	outs := make([]bloatOut, len(suite))
+	h.forEach(len(suite), func(i int) {
+		spec := suite[i]
+		wl := workload.Workload{Name: spec.Name, Apps: []workload.Spec{spec}}
+		outs[i].b2 = h.mustRun(wl, core.GPUMMU2M, noPaging, nil).Apps[0].BloatPct
+		outs[i].bm = h.mustRun(wl, core.Mosaic, noPaging, nil).Apps[0].BloatPct
+	})
+
 	res := BloatResult{Table: metrics.Table{
 		Title:   "§3.2: memory bloat of 2MB-only management (and Mosaic) vs 4KB needs",
 		Columns: []string{"app", "2MB bloat %", "Mosaic bloat %"},
 	}}
-	for _, spec := range h.suite() {
-		wl := workload.Workload{Name: spec.Name, Apps: []workload.Spec{spec}}
-		b2 := h.mustRun(wl, core.GPUMMU2M, noPaging, nil).Apps[0].BloatPct
-		bm := h.mustRun(wl, core.Mosaic, noPaging, nil).Apps[0].BloatPct
+	for i, spec := range suite {
+		b2, bm := outs[i].b2, outs[i].bm
 		res.Apps = append(res.Apps, spec.Name)
 		res.Bloat2M = append(res.Bloat2M, b2)
 		res.BloatMos = append(res.BloatMos, bm)
@@ -143,46 +186,66 @@ type WorkloadDetail struct {
 }
 
 func (h *Harness) speedupStudy(title string, workloadsByLevel map[int][]workload.Workload, levels []int) SpeedupResult {
+	type speedupItem struct {
+		level int // index into levels
+		wl    workload.Workload
+	}
+	var items []speedupItem
+	for li, n := range levels {
+		for _, wl := range workloadsByLevel[n] {
+			items = append(items, speedupItem{li, wl})
+		}
+	}
+	outs := make([]WorkloadDetail, len(items))
+	h.forEach(len(items), func(i int) {
+		wl := items[i].wl
+		rg := h.mustRun(wl, core.GPUMMU4K, nil, nil)
+		rm := h.mustRun(wl, core.Mosaic, nil, nil)
+		ri := h.mustRun(wl, core.IdealTLB, nil, nil)
+		detail := WorkloadDetail{
+			Name:   wl.Name,
+			Level:  levels[items[i].level],
+			GPUMMU: h.weightedSpeedup(rg, wl, nil),
+			Mosaic: h.weightedSpeedup(rm, wl, nil),
+			Ideal:  h.weightedSpeedup(ri, wl, nil),
+		}
+		for k := range rg.Apps {
+			detail.AppIPCsGPUMMU = append(detail.AppIPCsGPUMMU, rg.Apps[k].IPC)
+			detail.AppIPCsMosaic = append(detail.AppIPCsMosaic, rm.Apps[k].IPC)
+			detail.AppIPCsIdeal = append(detail.AppIPCsIdeal, ri.Apps[k].IPC)
+		}
+		for _, a := range wl.Apps {
+			if a.TLBSensitive() {
+				detail.TLBSensitive = true
+			}
+		}
+		outs[i] = detail
+	})
+
 	res := SpeedupResult{Levels: levels, Table: metrics.Table{
 		Title:   title,
 		Columns: []string{"apps", "GPU-MMU", "Mosaic", "Ideal-TLB"},
 	}}
 	var improvements, shortfalls []float64
-	for _, n := range levels {
-		var g, m, i []float64
-		for _, wl := range workloadsByLevel[n] {
-			rg := h.mustRun(wl, core.GPUMMU4K, nil, nil)
-			rm := h.mustRun(wl, core.Mosaic, nil, nil)
-			ri := h.mustRun(wl, core.IdealTLB, nil, nil)
-			wg := h.weightedSpeedup(rg, wl, nil)
-			wm := h.weightedSpeedup(rm, wl, nil)
-			wi := h.weightedSpeedup(ri, wl, nil)
-			g = append(g, wg)
-			m = append(m, wm)
-			i = append(i, wi)
-			if wg > 0 {
-				improvements = append(improvements, (wm/wg-1)*100)
+	for li, n := range levels {
+		var g, m, ideal []float64
+		for k := range items {
+			if items[k].level != li {
+				continue
 			}
-			if wi > 0 {
-				shortfalls = append(shortfalls, (1-wm/wi)*100)
+			d := outs[k]
+			g = append(g, d.GPUMMU)
+			m = append(m, d.Mosaic)
+			ideal = append(ideal, d.Ideal)
+			if d.GPUMMU > 0 {
+				improvements = append(improvements, (d.Mosaic/d.GPUMMU-1)*100)
 			}
-			detail := WorkloadDetail{
-				Name: wl.Name, Level: n,
-				GPUMMU: wg, Mosaic: wm, Ideal: wi,
+			if d.Ideal > 0 {
+				shortfalls = append(shortfalls, (1-d.Mosaic/d.Ideal)*100)
 			}
-			for k := range rg.Apps {
-				detail.AppIPCsGPUMMU = append(detail.AppIPCsGPUMMU, rg.Apps[k].IPC)
-				detail.AppIPCsMosaic = append(detail.AppIPCsMosaic, rm.Apps[k].IPC)
-				detail.AppIPCsIdeal = append(detail.AppIPCsIdeal, ri.Apps[k].IPC)
-			}
-			for _, a := range wl.Apps {
-				if a.TLBSensitive() {
-					detail.TLBSensitive = true
-				}
-			}
-			res.Workloads = append(res.Workloads, detail)
+			res.Workloads = append(res.Workloads, d)
 		}
-		mg, mm, mi := metrics.Mean(g), metrics.Mean(m), metrics.Mean(i)
+		mg, mm, mi := metrics.Mean(g), metrics.Mean(m), metrics.Mean(ideal)
 		res.GPUMMU = append(res.GPUMMU, mg)
 		res.Mosaic = append(res.Mosaic, mm)
 		res.Ideal = append(res.Ideal, mi)
@@ -277,18 +340,28 @@ func (h *Harness) Fig10(pairs ...[2]string) Fig10Result {
 	if len(pairs) == 0 {
 		pairs = Fig10Pairs
 	}
-	res := Fig10Result{Table: metrics.Table{
-		Title:   "Fig. 10: selected two-application workloads (weighted speedup)",
-		Columns: []string{"pair", "class", "GPU-MMU", "Mosaic", "Ideal-TLB"},
-	}}
-	for _, p := range pairs {
+	wls := make([]workload.Workload, len(pairs))
+	for i, p := range pairs {
 		wl, err := workload.Pair(p[0], p[1])
 		if err != nil {
 			panic(err)
 		}
-		wg := h.weightedSpeedup(h.mustRun(wl, core.GPUMMU4K, nil, nil), wl, nil)
-		wm := h.weightedSpeedup(h.mustRun(wl, core.Mosaic, nil, nil), wl, nil)
-		wi := h.weightedSpeedup(h.mustRun(wl, core.IdealTLB, nil, nil), wl, nil)
+		wls[i] = wl
+	}
+	type fig10Out struct{ wg, wm, wi float64 }
+	outs := make([]fig10Out, len(wls))
+	h.forEach(len(wls), func(i int) {
+		wl := wls[i]
+		outs[i].wg = h.weightedSpeedup(h.mustRun(wl, core.GPUMMU4K, nil, nil), wl, nil)
+		outs[i].wm = h.weightedSpeedup(h.mustRun(wl, core.Mosaic, nil, nil), wl, nil)
+		outs[i].wi = h.weightedSpeedup(h.mustRun(wl, core.IdealTLB, nil, nil), wl, nil)
+	})
+
+	res := Fig10Result{Table: metrics.Table{
+		Title:   "Fig. 10: selected two-application workloads (weighted speedup)",
+		Columns: []string{"pair", "class", "GPU-MMU", "Mosaic", "Ideal-TLB"},
+	}}
+	for i, wl := range wls {
 		sensitive := wl.Apps[0].TLBSensitive() || wl.Apps[1].TLBSensitive()
 		class := "TLB-friendly"
 		if sensitive {
@@ -296,11 +369,11 @@ func (h *Harness) Fig10(pairs ...[2]string) Fig10Result {
 		}
 		res.Pairs = append(res.Pairs, wl.Name)
 		res.Sensitive = append(res.Sensitive, sensitive)
-		res.GPUMMU = append(res.GPUMMU, wg)
-		res.Mosaic = append(res.Mosaic, wm)
-		res.Ideal = append(res.Ideal, wi)
+		res.GPUMMU = append(res.GPUMMU, outs[i].wg)
+		res.Mosaic = append(res.Mosaic, outs[i].wm)
+		res.Ideal = append(res.Ideal, outs[i].wi)
 		res.Table.AddRow(wl.Name, class,
-			metrics.FormatFloat(wg), metrics.FormatFloat(wm), metrics.FormatFloat(wi))
+			metrics.FormatFloat(outs[i].wg), metrics.FormatFloat(outs[i].wm), metrics.FormatFloat(outs[i].wi))
 	}
 	return res
 }
@@ -393,23 +466,49 @@ type Fig12Result struct {
 
 // Fig12 regenerates Figure 12 using 2-application workloads of each class.
 func (h *Harness) Fig12() Fig12Result {
-	res := Fig12Result{Table: metrics.Table{
-		Title:   "Fig. 12: effect of demand paging (normalized to GPU-MMU without paging)",
-		Columns: []string{"class", "GPU-MMU no-paging", "GPU-MMU paging", "Mosaic paging"},
-	}}
+	classNames := []string{"homogeneous", "heterogeneous"}
 	classes := map[string][]workload.Workload{
 		"homogeneous":   h.homogeneous(2),
 		"heterogeneous": h.heterogeneous(2),
 	}
-	for _, class := range []string{"homogeneous", "heterogeneous"} {
-		var gp, mp []float64
+	type fig12Item struct {
+		class int // index into classNames
+		wl    workload.Workload
+	}
+	var items []fig12Item
+	for ci, class := range classNames {
 		for _, wl := range classes[class] {
-			base := h.weightedSpeedup(h.mustRun(wl, core.GPUMMU4K, noPaging, nil), wl, nil)
-			if base <= 0 {
+			items = append(items, fig12Item{ci, wl})
+		}
+	}
+	type fig12Out struct {
+		gp, mp float64
+		ok     bool
+	}
+	outs := make([]fig12Out, len(items))
+	h.forEach(len(items), func(i int) {
+		wl := items[i].wl
+		base := h.weightedSpeedup(h.mustRun(wl, core.GPUMMU4K, noPaging, nil), wl, nil)
+		if base <= 0 {
+			return
+		}
+		outs[i].gp = h.weightedSpeedup(h.mustRun(wl, core.GPUMMU4K, nil, nil), wl, nil) / base
+		outs[i].mp = h.weightedSpeedup(h.mustRun(wl, core.Mosaic, nil, nil), wl, nil) / base
+		outs[i].ok = true
+	})
+
+	res := Fig12Result{Table: metrics.Table{
+		Title:   "Fig. 12: effect of demand paging (normalized to GPU-MMU without paging)",
+		Columns: []string{"class", "GPU-MMU no-paging", "GPU-MMU paging", "Mosaic paging"},
+	}}
+	for ci, class := range classNames {
+		var gp, mp []float64
+		for i := range items {
+			if items[i].class != ci || !outs[i].ok {
 				continue
 			}
-			gp = append(gp, h.weightedSpeedup(h.mustRun(wl, core.GPUMMU4K, nil, nil), wl, nil)/base)
-			mp = append(mp, h.weightedSpeedup(h.mustRun(wl, core.Mosaic, nil, nil), wl, nil)/base)
+			gp = append(gp, outs[i].gp)
+			mp = append(mp, outs[i].mp)
 		}
 		g, m := metrics.Mean(gp), metrics.Mean(mp)
 		res.Classes = append(res.Classes, class)
@@ -436,19 +535,42 @@ func (h *Harness) Fig13(levels ...int) Fig13Result {
 	if len(levels) == 0 {
 		levels = []int{1, 2, 3, 4, 5}
 	}
+	type fig13Item struct {
+		level int
+		wl    workload.Workload
+	}
+	var items []fig13Item
+	for li, n := range levels {
+		for _, wl := range h.homogeneous(n) {
+			items = append(items, fig13Item{li, wl})
+		}
+	}
+	type fig13Out struct{ g1, g2, m1, m2 float64 }
+	outs := make([]fig13Out, len(items))
+	h.forEach(len(items), func(i int) {
+		wl := items[i].wl
+		rg := h.mustRun(wl, core.GPUMMU4K, nil, nil)
+		rm := h.mustRun(wl, core.Mosaic, nil, nil)
+		outs[i] = fig13Out{
+			g1: rg.L1TLBHitRate(), g2: rg.L2TLBHitRate(),
+			m1: rm.L1TLBHitRate(), m2: rm.L2TLBHitRate(),
+		}
+	})
+
 	res := Fig13Result{Levels: levels, Table: metrics.Table{
 		Title:   "Fig. 13: TLB hit rates (request granularity)",
 		Columns: []string{"apps", "GPU-MMU L1", "GPU-MMU L2", "Mosaic L1", "Mosaic L2"},
 	}}
-	for _, n := range levels {
+	for li, n := range levels {
 		var g1, g2, m1, m2 []float64
-		for _, wl := range h.homogeneous(n) {
-			rg := h.mustRun(wl, core.GPUMMU4K, nil, nil)
-			rm := h.mustRun(wl, core.Mosaic, nil, nil)
-			g1 = append(g1, rg.L1TLBHitRate())
-			g2 = append(g2, rg.L2TLBHitRate())
-			m1 = append(m1, rm.L1TLBHitRate())
-			m2 = append(m2, rm.L2TLBHitRate())
+		for i := range items {
+			if items[i].level != li {
+				continue
+			}
+			g1 = append(g1, outs[i].g1)
+			g2 = append(g2, outs[i].g2)
+			m1 = append(m1, outs[i].m1)
+			m2 = append(m2, outs[i].m2)
 		}
 		res.L1GPUMMU = append(res.L1GPUMMU, metrics.Mean(g1))
 		res.L2GPUMMU = append(res.L2GPUMMU, metrics.Mean(g2))
@@ -471,27 +593,42 @@ type SweepResult struct {
 	Table          metrics.Table
 }
 
-// sweep runs a TLB-geometry sweep at concurrency level n.
+// sweep runs a TLB-geometry sweep at concurrency level n. Way counts are
+// re-clamped after every size mutation so that sweeping an entry count
+// below an associativity cannot produce invalid geometry.
 func (h *Harness) sweep(title string, n int, sizes []int, apply func(*config.Config, int)) SweepResult {
+	wls := h.homogeneous(n)
+	nBase := len(wls)
+	baseWS := make([]float64, nBase)
+	type sweepCell struct{ g, m float64 }
+	cells := make([]sweepCell, len(sizes)*nBase)
+	h.forEach(nBase+len(cells), func(i int) {
+		if i < nBase {
+			wl := wls[i]
+			baseWS[i] = h.weightedSpeedup(h.mustRun(wl, core.GPUMMU4K, nil, nil), wl, nil)
+			return
+		}
+		j := i - nBase
+		size := sizes[j/nBase]
+		wl := wls[j%nBase]
+		mut := func(c *config.Config) {
+			apply(c, size)
+			c.ClampTLBWays()
+		}
+		cells[j].g = h.weightedSpeedup(h.mustRun(wl, core.GPUMMU4K, mut, nil), wl, nil)
+		cells[j].m = h.weightedSpeedup(h.mustRun(wl, core.Mosaic, mut, nil), wl, nil)
+	})
+
 	res := SweepResult{Sizes: sizes, Table: metrics.Table{
 		Title:   title,
 		Columns: []string{"entries", "GPU-MMU", "Mosaic"},
 	}}
-	wls := h.homogeneous(n)
-	var baseline float64
-	{
-		var ws []float64
-		for _, wl := range wls {
-			ws = append(ws, h.weightedSpeedup(h.mustRun(wl, core.GPUMMU4K, nil, nil), wl, nil))
-		}
-		baseline = metrics.Mean(ws)
-	}
-	for _, size := range sizes {
-		mut := func(c *config.Config) { apply(c, size) }
+	baseline := metrics.Mean(baseWS)
+	for si, size := range sizes {
 		var g, m []float64
-		for _, wl := range wls {
-			g = append(g, h.weightedSpeedup(h.mustRun(wl, core.GPUMMU4K, mut, nil), wl, nil))
-			m = append(m, h.weightedSpeedup(h.mustRun(wl, core.Mosaic, mut, nil), wl, nil))
+		for w := 0; w < nBase; w++ {
+			g = append(g, cells[si*nBase+w].g)
+			m = append(m, cells[si*nBase+w].m)
 		}
 		ng, nm := metrics.Mean(g)/baseline, metrics.Mean(m)/baseline
 		res.GPUMMU = append(res.GPUMMU, ng)
@@ -516,12 +653,7 @@ func (h *Harness) Fig14L2(n int, sizes ...int) SweepResult {
 		sizes = []int{64, 128, 256, 512, 1024, 4096}
 	}
 	return h.sweep("Fig. 14b: L2 TLB base-page entries", n, sizes,
-		func(c *config.Config, s int) {
-			c.L2TLBBaseEntries = s
-			if s < c.L2TLBBaseWays {
-				c.L2TLBBaseWays = s
-			}
-		})
+		func(c *config.Config, s int) { c.L2TLBBaseEntries = s })
 }
 
 // Fig15L1 sweeps per-SM L1 TLB large-page entries (paper: 4-64).
@@ -565,46 +697,53 @@ type Fig16Result struct {
 	Table metrics.Table
 }
 
-// fig16 runs the CAC stress suite at the given fragmentation points.
+// fig16 runs the CAC stress suite at the given fragmentation points. The
+// whole (point, mode, application) grid runs as one batch; the baseline
+// is the "no CAC" cell at the first point.
 func (h *Harness) fig16(title, xlabel string, points []float64, frag func(x float64) (index, occupancy float64)) Fig16Result {
+	suite := h.suite()
+	nSuite := len(suite)
+	nModes := len(cacModes)
+	perfs := make([]float64, len(points)*nModes*nSuite)
+	h.forEach(len(perfs), func(i int) {
+		si := i % nSuite
+		mi := (i / nSuite) % nModes
+		pi := i / (nSuite * nModes)
+		spec := suite[si]
+		wl := workload.Workload{Name: spec.Name, Apps: []workload.Spec{spec}}
+		ws := spec.ScaledWorkingSet(h.Cfg)
+		index, occ := frag(points[pi])
+		cfgMut := func(c *config.Config) {
+			// Size DRAM so fragmentation creates genuine frame
+			// pressure: ~3x the working set plus the PT reserve.
+			c.TotalDRAMBytes = 3*ws + (96 << 20)
+			// Run longer than the default cap: compaction is a
+			// one-time cost that must amortize over execution, as
+			// it does in the paper's full-length runs.
+			if c.MaxWarpInstructions > 0 {
+				c.MaxWarpInstructions *= 2
+			}
+		}
+		simMut := func(o *sim.Options) {
+			o.FragIndex = index
+			o.FragOccupancy = occ
+			o.DeallocFraction = 0.6
+			o.MutateManager = cacModes[mi].mut
+		}
+		perfs[i] = h.mustRun(wl, core.Mosaic, cfgMut, simMut).TotalIPC()
+	})
+
+	cellMean := func(pi, mi int) float64 {
+		start := (pi*nModes + mi) * nSuite
+		return metrics.Mean(perfs[start : start+nSuite])
+	}
 	res := Fig16Result{XLabel: xlabel, Xs: points, Perf: map[string][]float64{}}
 	res.Table = metrics.Table{Title: title, Columns: []string{xlabel, "no CAC", "CAC", "CAC-BC", "Ideal CAC"}}
-
-	// Baseline: "no CAC" at the first point.
-	var baseline float64
-	suite := h.suite()
-	runPoint := func(x float64, mut func(*core.Options)) float64 {
-		var perf []float64
-		for _, spec := range suite {
-			wl := workload.Workload{Name: spec.Name, Apps: []workload.Spec{spec}}
-			ws := spec.ScaledWorkingSet(h.Cfg)
-			index, occ := frag(x)
-			cfgMut := func(c *config.Config) {
-				// Size DRAM so fragmentation creates genuine frame
-				// pressure: ~3x the working set plus the PT reserve.
-				c.TotalDRAMBytes = 3*ws + (96 << 20)
-				// Run longer than the default cap: compaction is a
-				// one-time cost that must amortize over execution, as
-				// it does in the paper's full-length runs.
-				if c.MaxWarpInstructions > 0 {
-					c.MaxWarpInstructions *= 2
-				}
-			}
-			simMut := func(o *sim.Options) {
-				o.FragIndex = index
-				o.FragOccupancy = occ
-				o.DeallocFraction = 0.6
-				o.MutateManager = mut
-			}
-			perf = append(perf, h.mustRun(wl, core.Mosaic, cfgMut, simMut).TotalIPC())
-		}
-		return metrics.Mean(perf)
-	}
-	baseline = runPoint(points[0], cacModes[0].mut)
-	for _, x := range points {
+	baseline := cellMean(0, 0)
+	for pi, x := range points {
 		row := []float64{x}
-		for _, mode := range cacModes {
-			p := runPoint(x, mode.mut) / baseline
+		for mi, mode := range cacModes {
+			p := cellMean(pi, mi) / baseline
 			res.Perf[mode.name] = append(res.Perf[mode.name], p)
 			row = append(row, p)
 		}
@@ -646,29 +785,32 @@ func (h *Harness) Table2(occupancies ...float64) Table2Result {
 	if len(occupancies) == 0 {
 		occupancies = []float64{0.01, 0.1, 0.25, 0.35, 0.5, 0.75}
 	}
+	suite := h.suite()
+	nSuite := len(suite)
+	bloats := make([]float64, len(occupancies)*nSuite)
+	h.forEach(len(bloats), func(i int) {
+		spec := suite[i%nSuite]
+		occ := occupancies[i/nSuite]
+		wl := workload.Workload{Name: spec.Name, Apps: []workload.Spec{spec}}
+		ws := spec.ScaledWorkingSet(h.Cfg)
+		cfgMut := func(c *config.Config) { c.TotalDRAMBytes = 3*ws + (96 << 20) }
+		simMut := func(op *sim.Options) {
+			op.FragIndex = 1.0
+			op.FragOccupancy = occ
+			// Mid-run deallocation creates the partially-freed
+			// coalesced frames whose locked slots are the bloat the
+			// paper measures.
+			op.DeallocFraction = 0.4
+		}
+		bloats[i] = h.mustRun(wl, core.Mosaic, cfgMut, simMut).Apps[0].BloatPct
+	})
+
 	res := Table2Result{Occupancies: occupancies, Table: metrics.Table{
 		Title:   "Table 2: Mosaic memory bloat vs large-frame occupancy (index 100%)",
 		Columns: []string{"occupancy", "bloat %"},
 	}}
-	for _, occ := range occupancies {
-		var bloats []float64
-		for _, spec := range h.suite() {
-			wl := workload.Workload{Name: spec.Name, Apps: []workload.Spec{spec}}
-			ws := spec.ScaledWorkingSet(h.Cfg)
-			cfgMut := func(c *config.Config) { c.TotalDRAMBytes = 3*ws + (96 << 20) }
-			o := occ
-			simMut := func(op *sim.Options) {
-				op.FragIndex = 1.0
-				op.FragOccupancy = o
-				// Mid-run deallocation creates the partially-freed
-				// coalesced frames whose locked slots are the bloat the
-				// paper measures.
-				op.DeallocFraction = 0.4
-			}
-			r := h.mustRun(wl, core.Mosaic, cfgMut, simMut)
-			bloats = append(bloats, r.Apps[0].BloatPct)
-		}
-		b := metrics.Mean(bloats)
+	for oi, occ := range occupancies {
+		b := metrics.Mean(bloats[oi*nSuite : (oi+1)*nSuite])
 		res.BloatPct = append(res.BloatPct, b)
 		res.Table.AddRowF(fmt.Sprintf("%.0f%%", occ*100), b)
 	}

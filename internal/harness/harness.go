@@ -7,11 +7,19 @@
 // application by itself on the same number of SMs it gets in the shared
 // run, under the state-of-the-art GPU-MMU baseline configuration; alone
 // runs are cached across experiments.
+//
+// Every experiment first enumerates its full set of independent
+// simulations, submits them to a worker-pool Runner (sized by Jobs), and
+// assembles tables from the completed results in submission order, so the
+// output is byte-identical regardless of the worker count.
 package harness
 
 import (
 	"fmt"
+	"hash/fnv"
 	"io"
+	"runtime"
+	"sync"
 
 	"repro/internal/config"
 	"repro/internal/core"
@@ -31,16 +39,43 @@ type Harness struct {
 	// HetPerLevel is the number of heterogeneous workloads per
 	// concurrency level (25 in the paper).
 	HetPerLevel int
-	// Progress, when non-nil, receives one line per completed run.
+	// Progress, when non-nil, receives one line per completed run. With
+	// Jobs != 1 the line order follows run completion, not submission.
 	Progress io.Writer
+	// Jobs is the number of simulations run concurrently: 0 (default)
+	// means GOMAXPROCS, 1 runs strictly sequentially. Results and
+	// rendered tables are identical for every value.
+	Jobs int
 
-	alone map[aloneKey]float64
+	progressMu sync.Mutex
+
+	aloneMu sync.Mutex
+	alone   map[aloneKey]*aloneCell
 }
 
+// aloneKey identifies one alone-run simulation: the application plus a
+// digest of the fully mutated configuration it runs under. Keying by the
+// whole config (rather than a few fields) keeps experiments with
+// different mutate functions from sharing stale alone IPCs.
 type aloneKey struct {
 	app    string
-	sms    int
-	paging bool
+	digest uint64
+}
+
+// aloneCell is a single-flight cache slot: concurrent requests for the
+// same alone IPC block on once while exactly one of them simulates.
+type aloneCell struct {
+	once sync.Once
+	val  float64
+}
+
+// configDigest hashes every field of a configuration. The printed form
+// of the flat struct is deterministic, so equal configs always collide
+// and differing configs practically never do.
+func configDigest(c config.Config) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%+v", c)
+	return h.Sum64()
 }
 
 // New returns a harness over cfg with paper-default workload counts.
@@ -56,6 +91,39 @@ func NewQuick(cfg config.Config) *Harness {
 	h.AppNames = []string{"CONS", "NW", "HS", "BFS2", "HISTO", "LPS"}
 	h.HetPerLevel = 5
 	return h
+}
+
+// workers resolves the effective worker count.
+func (h *Harness) workers() int {
+	if h.Jobs > 0 {
+		return h.Jobs
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// forEach runs fn(0..n-1) across the harness's worker pool and returns
+// once all calls completed, re-raising the first panic. With one worker
+// (or n == 1) it runs inline in index order, exactly like the old
+// sequential harness. fn must write results only into its own index's
+// slot; callers assemble in index order afterwards.
+func (h *Harness) forEach(n int, fn func(i int)) {
+	w := h.workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	r := NewRunner(w)
+	defer r.Close()
+	for i := 0; i < n; i++ {
+		i := i
+		r.Submit(func() { fn(i) })
+	}
+	r.Wait()
 }
 
 // suite returns the (possibly restricted) application list.
@@ -106,7 +174,9 @@ func (h *Harness) run(wl workload.Workload, policy core.Policy, mutate func(*con
 		return sim.Results{}, err
 	}
 	if h.Progress != nil {
+		h.progressMu.Lock()
 		fmt.Fprintf(h.Progress, "ran %-24s %-12s %9d cycles\n", wl.Name, r.Policy, r.Cycles)
+		h.progressMu.Unlock()
 	}
 	return r, nil
 }
@@ -122,35 +192,50 @@ func (h *Harness) mustRun(wl workload.Workload, policy core.Policy, mutate func(
 }
 
 // aloneIPC returns the cached alone-run IPC of one application on smCount
-// SMs under the GPU-MMU baseline (§5's IPC_alone definition).
+// SMs under the GPU-MMU baseline (§5's IPC_alone definition). The cache
+// is keyed by a digest of the fully mutated configuration and is
+// single-flight: concurrent workers requesting the same alone IPC
+// compute it exactly once, the rest block until the value is ready.
 func (h *Harness) aloneIPC(spec workload.Spec, smCount int, mutate func(*config.Config)) float64 {
-	cfg := h.Cfg
-	if mutate != nil {
-		mutate(&cfg)
-	}
-	key := aloneKey{app: spec.Name, sms: smCount, paging: cfg.IOBusEnabled}
-	if h.alone == nil {
-		h.alone = make(map[aloneKey]float64)
-	}
-	if v, ok := h.alone[key]; ok {
-		return v
-	}
 	aloneMut := func(c *config.Config) {
 		if mutate != nil {
 			mutate(c)
 		}
 		c.NumSMs = smCount
 	}
-	r := h.mustRun(workload.Workload{Name: "alone-" + spec.Name, Apps: []workload.Spec{spec}},
-		core.GPUMMU4K, aloneMut, nil)
-	v := r.Apps[0].IPC
-	h.alone[key] = v
-	return v
+	cfg := h.Cfg
+	aloneMut(&cfg)
+	key := aloneKey{app: spec.Name, digest: configDigest(cfg)}
+
+	h.aloneMu.Lock()
+	if h.alone == nil {
+		h.alone = make(map[aloneKey]*aloneCell)
+	}
+	cell := h.alone[key]
+	if cell == nil {
+		cell = &aloneCell{}
+		h.alone[key] = cell
+	}
+	h.aloneMu.Unlock()
+
+	cell.once.Do(func() {
+		r := h.mustRun(workload.Workload{Name: "alone-" + spec.Name, Apps: []workload.Spec{spec}},
+			core.GPUMMU4K, aloneMut, nil)
+		cell.val = r.Apps[0].IPC
+	})
+	return cell.val
 }
 
-// weightedSpeedup computes Eq. 1 for one shared run.
+// weightedSpeedup computes Eq. 1 for one shared run. The per-application
+// SM share comes from the mutated configuration, so experiments that
+// change NumSMs get alone runs on the SM count the shared run actually
+// used.
 func (h *Harness) weightedSpeedup(r sim.Results, wl workload.Workload, mutate func(*config.Config)) float64 {
-	smPer := h.Cfg.NumSMs / len(wl.Apps)
+	cfg := h.Cfg
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	smPer := cfg.NumSMs / len(wl.Apps)
 	if smPer == 0 {
 		smPer = 1
 	}

@@ -1,0 +1,90 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Runner is a fixed-size worker pool for executing independent simulation
+// jobs concurrently. Each submitted job runs on one of the pool's
+// goroutines; Submit applies backpressure once every worker is busy.
+//
+// Jobs must be independent of each other: the determinism guarantee of
+// the harness rests on every job writing only into its own pre-assigned
+// result slot, with all cross-job arithmetic done after Wait returns.
+type Runner struct {
+	jobs   chan func()
+	donewg sync.WaitGroup // worker goroutines
+	flight sync.WaitGroup // submitted but unfinished jobs
+
+	mu     sync.Mutex
+	pv     any // first captured job panic
+	closed bool
+}
+
+// NewRunner starts a pool of the given number of workers; workers <= 0
+// means GOMAXPROCS. Close must be called to release the goroutines.
+func NewRunner(workers int) *Runner {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	r := &Runner{jobs: make(chan func())}
+	r.donewg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer r.donewg.Done()
+			for fn := range r.jobs {
+				fn()
+			}
+		}()
+	}
+	return r
+}
+
+// Submit queues fn for execution, blocking while every worker is busy.
+// A panic inside fn is captured and re-raised by the next Wait, matching
+// the panic-on-error contract of Harness.mustRun.
+func (r *Runner) Submit(fn func()) {
+	r.flight.Add(1)
+	r.jobs <- func() {
+		defer r.flight.Done()
+		defer func() {
+			if p := recover(); p != nil {
+				r.mu.Lock()
+				if r.pv == nil {
+					r.pv = p
+				}
+				r.mu.Unlock()
+			}
+		}()
+		fn()
+	}
+}
+
+// Wait blocks until every submitted job has finished. If any job
+// panicked, Wait re-panics with the first captured value. The Runner
+// stays usable for further batches.
+func (r *Runner) Wait() {
+	r.flight.Wait()
+	r.mu.Lock()
+	p := r.pv
+	r.pv = nil
+	r.mu.Unlock()
+	if p != nil {
+		panic(p)
+	}
+}
+
+// Close drains in-flight jobs and stops the workers. It does not
+// re-raise captured panics (use Wait first); a closed Runner must not be
+// reused.
+func (r *Runner) Close() {
+	r.flight.Wait()
+	r.mu.Lock()
+	if !r.closed {
+		r.closed = true
+		close(r.jobs)
+	}
+	r.mu.Unlock()
+	r.donewg.Wait()
+}

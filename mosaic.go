@@ -124,8 +124,19 @@ func Run(cfg Config, wl Workload, opt SimOptions) (Results, error) {
 	return s.Run()
 }
 
-// Harness regenerates the paper's evaluation figures and tables.
+// Harness regenerates the paper's evaluation figures and tables. Its
+// Jobs field bounds how many simulations run concurrently (0 =
+// GOMAXPROCS, 1 = sequential); results are identical for every value.
 type Harness = harness.Harness
+
+// Runner is a fixed-size worker pool for executing independent
+// simulations concurrently — the engine behind Harness.Jobs, exported so
+// tools like mosaic-sweep can parallelize their own run grids.
+type Runner = harness.Runner
+
+// NewRunner starts a Runner with the given worker count (<= 0 means
+// GOMAXPROCS). Call Close to release the workers.
+func NewRunner(workers int) *Runner { return harness.NewRunner(workers) }
 
 // NewHarness returns a harness over the full 27-application suite with
 // the paper's workload counts.
