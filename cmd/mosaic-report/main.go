@@ -1,0 +1,82 @@
+// Command mosaic-report loads two JSON result files exported by
+// mosaic-bench or mosaic-sweep (-format json) and prints a per-figure
+// diff: table cells that changed, runs present on only one side, and
+// runs whose cycle counts, IPC, weighted speedup, or component counters
+// moved. It exits 0 when the reports agree and 1 when they differ, so
+// CI can hold a run against a checked-in golden file:
+//
+//	mosaic-bench -fig 8 -format json -out fig8.json
+//	mosaic-report fig8.json testdata/golden/fig8-smoke.json
+//
+// -tol sets a relative tolerance for float comparisons (0 = exact); use
+// it when tracking perf trajectory across PRs, where tiny deterministic
+// shifts are expected and only real movement should fail the diff.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/metrics"
+)
+
+func main() {
+	var (
+		tol = flag.Float64("tol", 0, "relative tolerance for float comparisons (0 = exact)")
+		max = flag.Int("max-diffs", 40, "print at most this many differences (0 = unlimited)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: mosaic-report [-tol t] [-max-diffs n] old.json new.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	a := load(flag.Arg(0))
+	b := load(flag.Arg(1))
+
+	diffs := metrics.DiffReports(a, b, metrics.DiffOptions{Tol: *tol})
+	if len(diffs) == 0 {
+		fmt.Printf("reports agree: %d figure(s), %d run record(s)\n", len(a.Figures), countRuns(a))
+		return
+	}
+	shown := diffs
+	if *max > 0 && len(shown) > *max {
+		shown = shown[:*max]
+	}
+	for _, d := range shown {
+		fmt.Println(d)
+	}
+	if len(shown) < len(diffs) {
+		fmt.Printf("... and %d more\n", len(diffs)-len(shown))
+	}
+	fmt.Printf("reports differ: %d difference(s) across %d figure(s)\n", len(diffs), len(a.Figures))
+	os.Exit(1)
+}
+
+func load(path string) metrics.Report {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	defer f.Close()
+	r, err := metrics.ReadReport(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+		os.Exit(2)
+	}
+	return r
+}
+
+func countRuns(r metrics.Report) int {
+	n := 0
+	for _, f := range r.Figures {
+		n += len(f.Runs)
+	}
+	return n
+}

@@ -6,6 +6,7 @@
 //	mosaic-sim -apps HS,CONS -policy mosaic
 //	mosaic-sim -apps NW -policy gpummu-2mb -nopaging
 //	mosaic-sim -apps BFS2,SCAN,RED -policy all -scale 32
+//	mosaic-sim -apps HS,CONS -policy all -record runs.json
 package main
 
 import (
@@ -19,16 +20,17 @@ import (
 
 func main() {
 	var (
-		apps     = flag.String("apps", "HS,CONS", "comma-separated application names (see -list)")
-		policy   = flag.String("policy", "mosaic", "memory manager: gpummu | gpummu-2mb | mosaic | ideal | all")
-		scale    = flag.Int("scale", 0, "working-set scale divisor (0 = config default)")
-		seed     = flag.Int64("seed", 42, "deterministic seed")
-		nopaging = flag.Bool("nopaging", false, "disable demand paging (all data resident)")
-		frag     = flag.Float64("frag", 0, "pre-fragmentation index [0,1] (§6.4 stress)")
-		fragOcc  = flag.Float64("frag-occupancy", 0.5, "pre-fragmented frame occupancy [0,1]")
-		dealloc  = flag.Float64("dealloc", 0, "fraction of a scratch buffer freed mid-run (exercises CAC)")
-		traceOut = flag.String("trace", "", "write a JSON event trace to this file")
-		list     = flag.Bool("list", false, "list the 27 suite applications and exit")
+		apps      = flag.String("apps", "HS,CONS", "comma-separated application names (see -list)")
+		policy    = flag.String("policy", "mosaic", "memory manager: gpummu | gpummu-2mb | mosaic | ideal | all")
+		scale     = flag.Int("scale", 0, "working-set scale divisor (0 = config default)")
+		seed      = flag.Int64("seed", 42, "deterministic seed")
+		nopaging  = flag.Bool("nopaging", false, "disable demand paging (all data resident)")
+		frag      = flag.Float64("frag", 0, "pre-fragmentation index [0,1] (§6.4 stress)")
+		fragOcc   = flag.Float64("frag-occupancy", 0.5, "pre-fragmented frame occupancy [0,1]")
+		dealloc   = flag.Float64("dealloc", 0, "fraction of a scratch buffer freed mid-run (exercises CAC)")
+		traceOut  = flag.String("trace", "", "write a JSON event trace to this file")
+		recordOut = flag.String("record", "", "write the runs' structured records as a JSON report to this file (see docs/RESULTS_SCHEMA.md)")
+		list      = flag.Bool("list", false, "list the 27 suite applications and exit")
 	)
 	flag.Parse()
 
@@ -69,6 +71,7 @@ func main() {
 	if *traceOut != "" {
 		traceLimit = 1 << 20
 	}
+	var recs []mosaic.RunRecord
 	for _, p := range policies {
 		res, err := mosaic.Run(cfg, wl, mosaic.SimOptions{
 			Policy:          p,
@@ -83,6 +86,7 @@ func main() {
 			os.Exit(1)
 		}
 		report(res)
+		recs = append(recs, mosaic.NewRunRecord(res))
 		if *traceOut != "" && res.Trace != nil {
 			if err := writeTrace(*traceOut, res); err != nil {
 				fmt.Fprintln(os.Stderr, err)
@@ -90,6 +94,34 @@ func main() {
 			}
 		}
 	}
+	if *recordOut != "" {
+		if err := writeRecords(*recordOut, *apps, *seed, recs); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeRecords exports the runs as a one-figure report, diffable with
+// mosaic-report like any mosaic-bench export.
+func writeRecords(path, apps string, seed int64, recs []mosaic.RunRecord) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rep := mosaic.Report{
+		SchemaVersion: mosaic.SchemaVersion,
+		Generator:     "mosaic-sim",
+		Seed:          seed,
+		Apps:          strings.Split(apps, ","),
+		Figures: []mosaic.ReportFigure{{
+			ID:    "sim",
+			Title: "mosaic-sim " + apps,
+			Runs:  recs,
+		}},
+	}
+	return rep.WriteJSON(f)
 }
 
 // writeTrace dumps the run's event trace as JSON (one file per policy

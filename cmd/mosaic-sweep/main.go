@@ -7,11 +7,13 @@
 //	mosaic-sweep -dim l1base -values 16,32,64,128,256 -apps NW,NW
 //	mosaic-sweep -dim walker -values 8,16,32,64,128 -apps GUPS
 //	mosaic-sweep -dim pwc -values 0,32,64,128 -apps NW -policies gpummu
+//	mosaic-sweep -dim l2base -values 64,4096 -format json -out sweep.json
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -45,8 +47,15 @@ func main() {
 		nopaging = flag.Bool("nopaging", false, "disable demand paging")
 		listDims = flag.Bool("dims", false, "list sweepable dimensions and exit")
 		jobs     = flag.Int("jobs", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = sequential); output is identical for every value")
+		format   = flag.String("format", "text", "output format: text | json | csv")
+		outPath  = flag.String("out", "", "write output to this file instead of stdout")
 	)
 	flag.Parse()
+
+	if *format != "text" && *format != "json" && *format != "csv" {
+		fmt.Fprintf(os.Stderr, "unknown format %q (want text, json, or csv)\n", *format)
+		os.Exit(1)
+	}
 
 	if *listDims {
 		for name, d := range dimensions {
@@ -102,9 +111,11 @@ func main() {
 	}
 
 	// Run the whole value x policy grid on a worker pool, then assemble
-	// the table in grid order so the output matches a sequential run.
+	// the table in grid order so the output matches a sequential run for
+	// every -jobs value (exports included: records are built from the
+	// grid, not from completion order).
 	type cell struct {
-		ipc float64
+		res mosaic.Results
 		err error
 	}
 	cells := make([]cell, len(vals)*len(pols))
@@ -119,7 +130,7 @@ func main() {
 			d.apply(&cfg, vals[i/len(pols)])
 			cfg.ClampTLBWays()
 			res, err := mosaic.Run(cfg, wl, mosaic.SimOptions{Policy: pols[i%len(pols)], Seed: *seed})
-			cells[i] = cell{ipc: res.TotalIPC(), err: err}
+			cells[i] = cell{res: res, err: err}
 		})
 	}
 	r.Wait()
@@ -129,6 +140,7 @@ func main() {
 		Title:   fmt.Sprintf("sweep of %s (%s) — total IPC", *dim, d.desc),
 		Columns: append([]string{*dim}, polNames...),
 	}
+	var runs []metrics.RunRecord
 	for vi, vs := range valStrs {
 		row := []float64{}
 		for pi := range pols {
@@ -137,11 +149,51 @@ func main() {
 				fmt.Fprintln(os.Stderr, c.err)
 				os.Exit(1)
 			}
-			row = append(row, c.ipc)
+			row = append(row, c.res.TotalIPC())
+			rec := metrics.NewRunRecord(c.res)
+			rec.Workload = fmt.Sprintf("%s=%s/%s", *dim, vs, rec.Workload)
+			runs = append(runs, rec)
 		}
 		tbl.AddRowF(vs, row...)
 	}
-	tbl.Render(os.Stdout)
-	c := metrics.ChartFromTable(tbl)
-	c.Render(os.Stdout)
+
+	out := io.Writer(os.Stdout)
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
+	if *format == "text" {
+		tbl.Render(out)
+		c := metrics.ChartFromTable(tbl)
+		c.Render(out)
+		return
+	}
+	report := metrics.Report{
+		SchemaVersion: metrics.SchemaVersion,
+		Generator:     "mosaic-sweep",
+		Seed:          *seed,
+		Apps:          strings.Split(*apps, ","),
+		Figures: []metrics.Figure{{
+			ID:      "sweep-" + *dim,
+			Title:   tbl.Title,
+			Columns: tbl.Columns,
+			Rows:    tbl.Rows,
+			Runs:    runs,
+		}},
+	}
+	var err error
+	if *format == "json" {
+		err = report.WriteJSON(out)
+	} else {
+		err = report.WriteCSV(out)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 }

@@ -30,6 +30,16 @@ type Stats struct {
 	AllocFallbacks     uint64 // allocations that needed CAC recovery
 }
 
+// CoalesceSuccessRate returns Coalesces / CoalesceAttempts (0 when no
+// region was ever considered) — how often a considered region was fully
+// populated and promotable to a large page.
+func (s Stats) CoalesceSuccessRate() float64 {
+	if s.CoalesceAttempts == 0 {
+		return 0
+	}
+	return float64(s.Coalesces) / float64(s.CoalesceAttempts)
+}
+
 type appState struct {
 	table     *pagetable.PageTable
 	resident  map[uint64]bool

@@ -44,6 +44,15 @@ type Stats struct {
 	ChannelAccesses []uint64
 }
 
+// RowHitRate returns RowHits / Accesses (0 when idle) — the row-buffer
+// locality the FR-FCFS scheduler preserved.
+func (s Stats) RowHitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.RowHits) / float64(s.Accesses)
+}
+
 type bank struct {
 	openRow   uint64
 	busyUntil uint64

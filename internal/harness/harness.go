@@ -46,6 +46,12 @@ type Harness struct {
 	// means GOMAXPROCS, 1 runs strictly sequentially. Results and
 	// rendered tables are identical for every value.
 	Jobs int
+	// Collect, when non-nil, receives a RunRecord for every simulation
+	// the harness executes (including cache-miss alone runs) plus the
+	// weighted speedups computed from them. The collected set is
+	// identical for every Jobs value; swap in a fresh collector per
+	// experiment (or use CollectFigure) to group records by figure.
+	Collect *metrics.Collector
 
 	progressMu sync.Mutex
 
@@ -173,12 +179,36 @@ func (h *Harness) run(wl workload.Workload, policy core.Policy, mutate func(*con
 	if err != nil {
 		return sim.Results{}, err
 	}
+	if h.Collect != nil {
+		h.Collect.Add(r)
+	}
 	if h.Progress != nil {
 		h.progressMu.Lock()
 		fmt.Fprintf(h.Progress, "ran %-24s %-12s %9d cycles\n", wl.Name, r.Policy, r.Cycles)
 		h.progressMu.Unlock()
 	}
 	return r, nil
+}
+
+// CollectFigure runs one experiment body under a fresh collector and
+// packages its table and run records as an exportable Figure. The body
+// typically calls one FigN method and returns its Table. The returned
+// figure is byte-identical (after JSON/CSV serialization) for every
+// Jobs value. Alone-run simulations land in the figure that first
+// needed them; later figures reuse the cached IPC without re-recording.
+func (h *Harness) CollectFigure(id string, body func() metrics.Table) metrics.Figure {
+	prev := h.Collect
+	col := metrics.NewCollector()
+	h.Collect = col
+	tbl := body()
+	h.Collect = prev
+	return metrics.Figure{
+		ID:      id,
+		Title:   tbl.Title,
+		Columns: tbl.Columns,
+		Rows:    tbl.Rows,
+		Runs:    col.Records(),
+	}
 }
 
 // mustRun is run with panic-on-error; experiment workloads are
@@ -248,6 +278,9 @@ func (h *Harness) weightedSpeedup(r sim.Results, wl workload.Workload, mutate fu
 	ws, err := metrics.WeightedSpeedup(shared, alone)
 	if err != nil {
 		panic(err)
+	}
+	if h.Collect != nil {
+		h.Collect.SetWeightedSpeedup(r.Workload, r.Policy, r.ConfigDigest, ws)
 	}
 	return ws
 }

@@ -78,17 +78,24 @@ func (c *Chart) Render(w io.Writer) error {
 			if i == 0 {
 				x = r.x
 			}
-			n := int(v / max * float64(width))
-			if n < 0 {
-				n = 0
+			// NaN and negative values draw no bar: converting NaN to
+			// int is platform-defined in Go, and a negative ratio would
+			// otherwise feed strings.Repeat a bogus width.
+			n := 0
+			if !math.IsNaN(v) && v > 0 {
+				n = int(v / max * float64(width))
+				if n > width {
+					n = width
+				}
 			}
-			if n > width {
-				n = width
+			label := FormatFloat(v)
+			if math.IsNaN(v) {
+				label = "NaN"
 			}
 			fmt.Fprintf(&b, "%-*s  %-*s |%s%s %s\n",
 				xW, x, labelW, c.Series[i],
 				strings.Repeat("#", n), strings.Repeat(" ", width-n),
-				FormatFloat(v))
+				label)
 		}
 	}
 	b.WriteString("\n")

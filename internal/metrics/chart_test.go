@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
@@ -58,6 +59,48 @@ func TestChartRenderEmptyAndZero(t *testing.T) {
 	}
 	if strings.Contains(b.String(), "#") {
 		t.Error("zero value drew a bar")
+	}
+}
+
+func TestChartRenderNaNAndNegative(t *testing.T) {
+	c := Chart{Series: []string{"s"}, Width: 10}
+	c.AddRow("nan", math.NaN())
+	c.AddRow("neg", -2.5)
+	c.AddRow("pos", 5.0)
+	var b strings.Builder
+	if err := c.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(b.String(), "\n")
+	for _, l := range lines {
+		switch {
+		case strings.HasPrefix(l, "nan"):
+			if strings.Contains(l, "#") || !strings.Contains(l, "NaN") {
+				t.Errorf("NaN row should draw no bar and label NaN: %q", l)
+			}
+		case strings.HasPrefix(l, "neg"):
+			if strings.Contains(l, "#") {
+				t.Errorf("negative row drew a bar: %q", l)
+			}
+		case strings.HasPrefix(l, "pos"):
+			if !strings.Contains(l, strings.Repeat("#", 10)) {
+				t.Errorf("max row not full width: %q", l)
+			}
+		}
+	}
+}
+
+func TestChartRenderAllNaN(t *testing.T) {
+	// A chart whose every value is NaN must still render (max falls back
+	// to 1) without panicking or emitting bogus bars.
+	c := Chart{Series: []string{"s"}, Width: 10}
+	c.AddRow("x", math.NaN())
+	var b strings.Builder
+	if err := c.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "#") {
+		t.Errorf("all-NaN chart drew a bar:\n%s", b.String())
 	}
 }
 

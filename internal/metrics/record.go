@@ -1,0 +1,448 @@
+// Structured run records and figure export. A RunRecord captures one
+// simulation's full observable state — identity (workload, policy,
+// config digest), throughput, and every component's counters — and a
+// Report bundles the figures of one evaluation run into a versioned,
+// deterministic JSON/CSV document that tools (cmd/mosaic-report, CI
+// golden checks) can diff. See docs/RESULTS_SCHEMA.md for the schema
+// and its compatibility policy.
+package metrics
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+
+	"repro/internal/alloc"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/iobus"
+	"repro/internal/sim"
+	"repro/internal/tlb"
+	"repro/internal/walker"
+)
+
+// SchemaVersion is the version stamped into every exported Report.
+// It increments whenever a field is removed, renamed, or changes
+// meaning; adding fields does not bump it (see docs/RESULTS_SCHEMA.md).
+const SchemaVersion = 1
+
+// AppRecord is one application's outcome inside a RunRecord.
+type AppRecord struct {
+	Name         string
+	IPC          float64 // instructions per cycle over the app's runtime
+	Instructions uint64
+	FinishCycle  uint64
+	Completed    bool
+	BloatPct     float64 // physical memory bloat vs 4KB needs, percent
+}
+
+// RunRecord is the structured outcome of one deterministic simulation:
+// identity, throughput, and per-component counters. Records with equal
+// (Workload, Policy, ConfigDigest) describe byte-identical simulations.
+type RunRecord struct {
+	Workload     string
+	Policy       string
+	ConfigDigest string
+	// Count is how many times the figure ran this exact simulation
+	// (identical runs are merged — their results are identical).
+	Count int
+
+	Cycles   uint64
+	TotalIPC float64
+	// WeightedSpeedup is Eq. 1 (sum of IPC_shared/IPC_alone); zero when
+	// the experiment did not compute it for this run.
+	WeightedSpeedup float64 `json:",omitempty"`
+
+	Apps []AppRecord
+
+	// Request-granularity TLB hit rates (a request hits a level if
+	// either its large or base array serves it).
+	L1TLBHitRate float64
+	L2TLBHitRate float64
+
+	// Per-component counters (lookup granularity for the TLB arrays).
+	L1TLB             tlb.Stats
+	L2TLB             tlb.Stats
+	Walker            walker.Stats
+	DRAM              dram.Stats
+	Bus               iobus.Stats
+	Manager           core.Stats
+	Allocator         alloc.Stats
+	PageWalkCache     cache.Stats `json:",omitempty"`
+	TranslationFaults uint64
+}
+
+// key orders and deduplicates records: equal keys mean identical runs.
+func (r RunRecord) key() string {
+	return r.Workload + "\x00" + r.Policy + "\x00" + r.ConfigDigest
+}
+
+// NewRunRecord converts one simulation result into its export record.
+func NewRunRecord(res sim.Results) RunRecord {
+	rec := RunRecord{
+		Workload:          res.Workload,
+		Policy:            res.Policy,
+		ConfigDigest:      res.ConfigDigest,
+		Count:             1,
+		Cycles:            res.Cycles,
+		TotalIPC:          res.TotalIPC(),
+		L1TLBHitRate:      res.L1TLBHitRate(),
+		L2TLBHitRate:      res.L2TLBHitRate(),
+		L1TLB:             res.L1TLB,
+		L2TLB:             res.L2TLB,
+		Walker:            res.Walker,
+		DRAM:              res.DRAM,
+		Bus:               res.Bus,
+		Manager:           res.Manager,
+		Allocator:         res.Allocator,
+		PageWalkCache:     res.PageWalkCache,
+		TranslationFaults: res.TranslationFaults,
+	}
+	for _, a := range res.Apps {
+		rec.Apps = append(rec.Apps, AppRecord{
+			Name:         a.Name,
+			IPC:          a.IPC,
+			Instructions: a.Instructions,
+			FinishCycle:  a.FinishCycle,
+			Completed:    a.Completed,
+			BloatPct:     a.BloatPct,
+		})
+	}
+	return rec
+}
+
+// Collector accumulates RunRecords from concurrently executing
+// simulations. It is safe for concurrent use; Records returns a
+// canonically sorted snapshot, so the collected set is independent of
+// completion order (and therefore of the worker count).
+type Collector struct {
+	mu   sync.Mutex
+	recs map[string]*RunRecord
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{recs: make(map[string]*RunRecord)}
+}
+
+// Add records one simulation result. A repeat of an identical run
+// (same workload, policy, and config digest) increments Count instead
+// of storing a duplicate — deterministic runs make the payloads equal.
+func (c *Collector) Add(res sim.Results) {
+	rec := NewRunRecord(res)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if prev, ok := c.recs[rec.key()]; ok {
+		prev.Count++
+		return
+	}
+	c.recs[rec.key()] = &rec
+}
+
+// SetWeightedSpeedup attaches Eq. 1's weighted speedup to the record
+// identified by (workload, policy, digest); it is a no-op when the
+// collector holds no such record.
+func (c *Collector) SetWeightedSpeedup(workload, policy, digest string, ws float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := RunRecord{Workload: workload, Policy: policy, ConfigDigest: digest}.key()
+	if rec, ok := c.recs[k]; ok {
+		rec.WeightedSpeedup = ws
+	}
+}
+
+// Len returns the number of distinct runs collected so far.
+func (c *Collector) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.recs)
+}
+
+// Records returns the collected records sorted by (workload, policy,
+// config digest) — a canonical order independent of execution order.
+func (c *Collector) Records() []RunRecord {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]RunRecord, 0, len(c.recs))
+	for _, r := range c.recs {
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key() < out[j].key() })
+	return out
+}
+
+// Figure is one exported experiment: the rendered table plus every
+// simulation behind it.
+type Figure struct {
+	// ID is the stable machine name ("fig8", "table2", "sweep-l1base").
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	// Notes carries the headline prose lines ("paper: …", "measured: …").
+	Notes []string `json:",omitempty"`
+	// Runs lists the distinct simulations the figure executed, in
+	// canonical (workload, policy, digest) order.
+	Runs []RunRecord `json:",omitempty"`
+}
+
+// Table returns the figure's table for text rendering.
+func (f Figure) Table() Table {
+	return Table{Title: f.Title, Columns: f.Columns, Rows: f.Rows}
+}
+
+// Report is a versioned bundle of exported figures — the unit that
+// mosaic-bench and mosaic-sweep serialize and mosaic-report diffs.
+type Report struct {
+	// SchemaVersion identifies the record layout; readers reject files
+	// whose version they do not know (see docs/RESULTS_SCHEMA.md).
+	SchemaVersion int
+	// Generator names the producing tool ("mosaic-bench", "mosaic-sweep").
+	Generator string
+	// Seed is the deterministic seed every simulation used.
+	Seed int64
+	// Apps is the restricted application suite, empty for the full 27.
+	Apps    []string `json:",omitempty"`
+	Figures []Figure
+}
+
+// WriteJSON serializes the report as indented JSON. The output is
+// byte-deterministic: field order is fixed, floats use Go's shortest
+// round-trip formatting, and Figure.Runs are canonically sorted — the
+// same experiment produces identical bytes for any worker count.
+func (r Report) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// WriteCSV serializes every figure table in long form — one line per
+// cell: schema,figure,row,column,value — with the figure's first column
+// as the row label. Like WriteJSON, the bytes are deterministic.
+func (r Report) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"schema", "figure", "row", "column", "value"}); err != nil {
+		return err
+	}
+	ver := strconv.Itoa(r.SchemaVersion)
+	for _, f := range r.Figures {
+		for _, row := range f.Rows {
+			if len(row) == 0 {
+				continue
+			}
+			for ci, cell := range row[1:] {
+				col := fmt.Sprintf("col%d", ci+1)
+				if ci+1 < len(f.Columns) {
+					col = f.Columns[ci+1]
+				}
+				if err := cw.Write([]string{ver, f.ID, row[0], col, cell}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadReport parses a JSON report and validates its schema version.
+func ReadReport(rd io.Reader) (Report, error) {
+	var r Report
+	dec := json.NewDecoder(rd)
+	if err := dec.Decode(&r); err != nil {
+		return Report{}, fmt.Errorf("metrics: parsing report: %w", err)
+	}
+	if r.SchemaVersion != SchemaVersion {
+		return Report{}, fmt.Errorf("metrics: report schema v%d, this tool reads v%d (see docs/RESULTS_SCHEMA.md)",
+			r.SchemaVersion, SchemaVersion)
+	}
+	return r, nil
+}
+
+// DiffOptions tunes report comparison.
+type DiffOptions struct {
+	// Tol is the relative tolerance for numeric table cells and derived
+	// floats (0 = exact). Counters always compare exactly.
+	Tol float64
+}
+
+// DiffReports compares two reports figure by figure and returns one
+// human-readable line per difference; an empty result means the reports
+// agree. Figures are matched by ID, runs by (workload, policy, digest).
+func DiffReports(a, b Report, opt DiffOptions) []string {
+	var diffs []string
+	if a.Seed != b.Seed {
+		diffs = append(diffs, fmt.Sprintf("seed: %d vs %d", a.Seed, b.Seed))
+	}
+	bFigs := make(map[string]Figure, len(b.Figures))
+	for _, f := range b.Figures {
+		bFigs[f.ID] = f
+	}
+	seen := make(map[string]bool, len(a.Figures))
+	for _, fa := range a.Figures {
+		seen[fa.ID] = true
+		fb, ok := bFigs[fa.ID]
+		if !ok {
+			diffs = append(diffs, fmt.Sprintf("%s: only in first report", fa.ID))
+			continue
+		}
+		diffs = append(diffs, diffFigure(fa, fb, opt)...)
+	}
+	for _, fb := range b.Figures {
+		if !seen[fb.ID] {
+			diffs = append(diffs, fmt.Sprintf("%s: only in second report", fb.ID))
+		}
+	}
+	return diffs
+}
+
+func diffFigure(a, b Figure, opt DiffOptions) []string {
+	var diffs []string
+	if !equalStrings(a.Columns, b.Columns) {
+		return []string{fmt.Sprintf("%s: columns %v vs %v", a.ID, a.Columns, b.Columns)}
+	}
+	if len(a.Rows) != len(b.Rows) {
+		diffs = append(diffs, fmt.Sprintf("%s: %d rows vs %d rows", a.ID, len(a.Rows), len(b.Rows)))
+	}
+	for i := 0; i < len(a.Rows) && i < len(b.Rows); i++ {
+		ra, rb := a.Rows[i], b.Rows[i]
+		if len(ra) != len(rb) {
+			diffs = append(diffs, fmt.Sprintf("%s row %d: %d cells vs %d cells", a.ID, i, len(ra), len(rb)))
+			continue
+		}
+		for j := range ra {
+			if cellsEqual(ra[j], rb[j], opt.Tol) {
+				continue
+			}
+			col := fmt.Sprintf("col%d", j)
+			if j < len(a.Columns) {
+				col = a.Columns[j]
+			}
+			diffs = append(diffs, fmt.Sprintf("%s row %q %s: %q vs %q", a.ID, ra[0], col, ra[j], rb[j]))
+		}
+	}
+	diffs = append(diffs, diffRuns(a.ID, a.Runs, b.Runs, opt)...)
+	return diffs
+}
+
+func diffRuns(id string, a, b []RunRecord, opt DiffOptions) []string {
+	var diffs []string
+	bRuns := make(map[string]RunRecord, len(b))
+	for _, r := range b {
+		bRuns[r.key()] = r
+	}
+	seen := make(map[string]bool, len(a))
+	for _, ra := range a {
+		seen[ra.key()] = true
+		rb, ok := bRuns[ra.key()]
+		if !ok {
+			diffs = append(diffs, fmt.Sprintf("%s run %s/%s %s: only in first report",
+				id, ra.Workload, ra.Policy, ra.ConfigDigest))
+			continue
+		}
+		tag := fmt.Sprintf("%s run %s/%s", id, ra.Workload, ra.Policy)
+		if ra.Cycles != rb.Cycles {
+			diffs = append(diffs, fmt.Sprintf("%s: cycles %d vs %d", tag, ra.Cycles, rb.Cycles))
+		}
+		if !floatsEqual(ra.TotalIPC, rb.TotalIPC, opt.Tol) {
+			diffs = append(diffs, fmt.Sprintf("%s: total IPC %g vs %g", tag, ra.TotalIPC, rb.TotalIPC))
+		}
+		if !floatsEqual(ra.WeightedSpeedup, rb.WeightedSpeedup, opt.Tol) {
+			diffs = append(diffs, fmt.Sprintf("%s: weighted speedup %g vs %g", tag, ra.WeightedSpeedup, rb.WeightedSpeedup))
+		}
+		// Everything else — per-app results and component counters —
+		// compares exactly via the canonical JSON encoding.
+		ja, jb := mustJSON(stripHeadline(ra)), mustJSON(stripHeadline(rb))
+		if ja != jb {
+			diffs = append(diffs, fmt.Sprintf("%s: component counters differ", tag))
+		}
+	}
+	for _, rb := range b {
+		if !seen[rb.key()] {
+			diffs = append(diffs, fmt.Sprintf("%s run %s/%s %s: only in second report",
+				id, rb.Workload, rb.Policy, rb.ConfigDigest))
+		}
+	}
+	return diffs
+}
+
+// stripHeadline zeroes the fields diffRuns already compared (with
+// tolerance), leaving the exact-compare remainder.
+func stripHeadline(r RunRecord) RunRecord {
+	r.Cycles = 0
+	r.TotalIPC = 0
+	r.WeightedSpeedup = 0
+	return r
+}
+
+func mustJSON(v any) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	return string(b)
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// cellsEqual compares two table cells: numerically within tol when both
+// parse as floats, byte-wise otherwise.
+func cellsEqual(a, b string, tol float64) bool {
+	if a == b {
+		return true
+	}
+	fa, errA := strconv.ParseFloat(a, 64)
+	fb, errB := strconv.ParseFloat(b, 64)
+	if errA != nil || errB != nil {
+		return false
+	}
+	return floatsEqual(fa, fb, tol)
+}
+
+// floatsEqual compares within relative tolerance tol (exact when 0).
+func floatsEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	if tol <= 0 {
+		return false
+	}
+	diff := a - b
+	if diff < 0 {
+		diff = -diff
+	}
+	scale := 1.0
+	if aa := abs(a); aa > scale {
+		scale = aa
+	}
+	if ab := abs(b); ab > scale {
+		scale = ab
+	}
+	return diff <= tol*scale
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

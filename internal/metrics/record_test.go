@@ -1,0 +1,213 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// fakeResults builds a small deterministic sim.Results without running a
+// simulation.
+func fakeResults(workload, policy, digest string, cycles uint64) sim.Results {
+	return sim.Results{
+		Workload:     workload,
+		Policy:       policy,
+		ConfigDigest: digest,
+		Cycles:       cycles,
+		Apps: []sim.AppResult{
+			{ASID: 1, Name: "A", Instructions: 1000, FinishCycle: cycles, IPC: float64(1000) / float64(cycles), Completed: true},
+			{ASID: 2, Name: "B", Instructions: 500, FinishCycle: cycles / 2, IPC: 0.5, Completed: true, BloatPct: 12.5},
+		},
+		L1TLBRequests: 100, L1TLBHits: 80,
+		L2TLBRequests: 20, L2TLBHits: 10,
+	}
+}
+
+func TestCollectorMergesIdenticalRuns(t *testing.T) {
+	c := NewCollector()
+	c.Add(fakeResults("2xNW", "mosaic", "aa", 100))
+	c.Add(fakeResults("2xNW", "mosaic", "aa", 100)) // identical repeat
+	c.Add(fakeResults("2xNW", "gpummu", "aa", 120))
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (identical runs merge)", c.Len())
+	}
+	recs := c.Records()
+	if recs[0].Policy != "gpummu" || recs[1].Policy != "mosaic" {
+		t.Errorf("records not in canonical order: %s, %s", recs[0].Policy, recs[1].Policy)
+	}
+	if recs[1].Count != 2 {
+		t.Errorf("merged record Count = %d, want 2", recs[1].Count)
+	}
+}
+
+func TestCollectorOrderIndependent(t *testing.T) {
+	runs := []sim.Results{
+		fakeResults("2xNW", "mosaic", "aa", 100),
+		fakeResults("2xNW", "gpummu", "aa", 120),
+		fakeResults("1xHS", "mosaic", "bb", 90),
+	}
+	a := NewCollector()
+	for _, r := range runs {
+		a.Add(r)
+	}
+	b := NewCollector()
+	for i := len(runs) - 1; i >= 0; i-- {
+		b.Add(runs[i])
+	}
+	a.SetWeightedSpeedup("2xNW", "mosaic", "aa", 1.5)
+	b.SetWeightedSpeedup("2xNW", "mosaic", "aa", 1.5)
+
+	ra := Report{SchemaVersion: SchemaVersion, Figures: []Figure{{ID: "f", Runs: a.Records()}}}
+	rb := Report{SchemaVersion: SchemaVersion, Figures: []Figure{{ID: "f", Runs: b.Records()}}}
+	var ba, bb strings.Builder
+	if err := ra.WriteJSON(&ba); err != nil {
+		t.Fatal(err)
+	}
+	if err := rb.WriteJSON(&bb); err != nil {
+		t.Fatal(err)
+	}
+	if ba.String() != bb.String() {
+		t.Errorf("insertion order leaked into the JSON bytes:\n%s\n---\n%s", ba.String(), bb.String())
+	}
+}
+
+func TestSetWeightedSpeedupUnknownKeyIsNoop(t *testing.T) {
+	c := NewCollector()
+	c.SetWeightedSpeedup("nope", "mosaic", "aa", 2.0)
+	if c.Len() != 0 {
+		t.Error("no-op SetWeightedSpeedup created a record")
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	c := NewCollector()
+	c.Add(fakeResults("2xNW", "mosaic", "aa", 100))
+	rep := Report{
+		SchemaVersion: SchemaVersion,
+		Generator:     "test",
+		Seed:          42,
+		Apps:          []string{"NW"},
+		Figures: []Figure{{
+			ID:      "fig8",
+			Title:   "t",
+			Columns: []string{"apps", "GPU-MMU", "Mosaic"},
+			Rows:    [][]string{{"2", "1.0", "1.4"}},
+			Notes:   []string{"paper: ..."},
+			Runs:    c.Records(),
+		}},
+	}
+	var b strings.Builder
+	if err := rep.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadReport(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A report must diff cleanly against its own serialized form.
+	if diffs := DiffReports(rep, got, DiffOptions{}); len(diffs) != 0 {
+		t.Errorf("round-trip produced diffs: %v", diffs)
+	}
+	var b2 strings.Builder
+	if err := got.WriteJSON(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != b2.String() {
+		t.Error("re-serializing a parsed report changed the bytes")
+	}
+}
+
+func TestReadReportRejectsUnknownVersion(t *testing.T) {
+	if _, err := ReadReport(strings.NewReader(`{"SchemaVersion": 999}`)); err == nil {
+		t.Error("unknown schema version accepted")
+	}
+	if _, err := ReadReport(strings.NewReader(`{garbage`)); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}
+
+func TestWriteCSVLongForm(t *testing.T) {
+	rep := Report{
+		SchemaVersion: SchemaVersion,
+		Figures: []Figure{{
+			ID:      "fig8",
+			Columns: []string{"apps", "GPU-MMU", "Mosaic"},
+			Rows:    [][]string{{"2", "1.0", "1.4"}, {"MEAN", "1.1", "1.5"}},
+		}},
+	}
+	var b strings.Builder
+	if err := rep.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("%d lines, want header + 4 cells:\n%s", len(lines), b.String())
+	}
+	if lines[0] != "schema,figure,row,column,value" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "1,fig8,2,GPU-MMU,1.0" {
+		t.Errorf("first cell = %q", lines[1])
+	}
+	if lines[4] != "1,fig8,MEAN,Mosaic,1.5" {
+		t.Errorf("last cell = %q", lines[4])
+	}
+}
+
+func TestDiffReportsFindsDifferences(t *testing.T) {
+	mk := func(cycles uint64, ipc string) Report {
+		c := NewCollector()
+		c.Add(fakeResults("2xNW", "mosaic", "aa", cycles))
+		return Report{
+			SchemaVersion: SchemaVersion,
+			Seed:          42,
+			Figures: []Figure{{
+				ID:      "fig8",
+				Columns: []string{"apps", "Mosaic"},
+				Rows:    [][]string{{"2", ipc}},
+				Runs:    c.Records(),
+			}},
+		}
+	}
+	a := mk(100, "1.40")
+	if diffs := DiffReports(a, mk(100, "1.40"), DiffOptions{}); len(diffs) != 0 {
+		t.Errorf("identical reports diff: %v", diffs)
+	}
+	// A changed table cell and a changed run both show up.
+	diffs := DiffReports(a, mk(110, "1.38"), DiffOptions{})
+	if len(diffs) == 0 {
+		t.Fatal("changed report produced no diffs")
+	}
+	joined := strings.Join(diffs, "\n")
+	if !strings.Contains(joined, "cycles 100 vs 110") {
+		t.Errorf("cycle change not reported: %v", diffs)
+	}
+	if !strings.Contains(joined, `"1.40" vs "1.38"`) {
+		t.Errorf("cell change not reported: %v", diffs)
+	}
+	// Within tolerance, the numeric cell difference disappears (cycles
+	// and counters still compare exactly).
+	tolDiffs := DiffReports(a, mk(100, "1.38"), DiffOptions{Tol: 0.05})
+	if len(tolDiffs) != 0 {
+		t.Errorf("2%% cell change not absorbed by 5%% tolerance: %v", tolDiffs)
+	}
+	// Missing figures and missing runs are reported from both sides.
+	diffs = DiffReports(a, Report{SchemaVersion: SchemaVersion, Seed: 42}, DiffOptions{})
+	if len(diffs) != 1 || !strings.Contains(diffs[0], "only in first") {
+		t.Errorf("missing figure not reported: %v", diffs)
+	}
+}
+
+func TestNewRunRecordCopiesDerivedRates(t *testing.T) {
+	rec := NewRunRecord(fakeResults("2xNW", "mosaic", "aa", 100))
+	if rec.L1TLBHitRate != 0.8 || rec.L2TLBHitRate != 0.5 {
+		t.Errorf("hit rates = %g/%g, want 0.8/0.5", rec.L1TLBHitRate, rec.L2TLBHitRate)
+	}
+	if len(rec.Apps) != 2 || rec.Apps[1].BloatPct != 12.5 {
+		t.Errorf("apps not copied: %+v", rec.Apps)
+	}
+	if rec.Count != 1 {
+		t.Errorf("Count = %d, want 1", rec.Count)
+	}
+}

@@ -15,6 +15,7 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
 
 	"repro/internal/alloc"
 	"repro/internal/cache"
@@ -143,13 +144,24 @@ type AppResult struct {
 type Results struct {
 	Workload string
 	Policy   string
-	Cycles   uint64
-	Apps     []AppResult
+	// ConfigDigest is a stable hex digest of everything that determines
+	// the simulation's outcome: the configuration, the resolved manager
+	// options, and the scalar simulation options (seed, fragmentation,
+	// dealloc fraction). Two runs with equal digests, workload, and
+	// policy produce identical results.
+	ConfigDigest string
+	Cycles       uint64
+	Apps         []AppResult
 
 	// Request-granularity TLB rates: a request hits a level if either
 	// its large or base array serves it.
 	L1TLBRequests, L1TLBHits uint64
 	L2TLBRequests, L2TLBHits uint64
+
+	// L1TLB aggregates the per-SM L1 TLB counters (lookup granularity:
+	// one request that misses large and hits base counts in both
+	// arrays); L2TLB snapshots the shared L2 TLB.
+	L1TLB, L2TLB tlb.Stats
 
 	Manager   core.Stats
 	Allocator alloc.Stats
@@ -191,11 +203,24 @@ func (r Results) TotalIPC() float64 {
 	return t
 }
 
+// configDigest hashes everything that determines a run's outcome: the
+// full configuration, the scalar simulation options, and the resolved
+// manager options (which capture MutateManager's effect). The printed
+// forms are flat and deterministic, so equal setups always collide and
+// differing setups practically never do.
+func configDigest(cfg config.Config, opt Options, mopt core.Options) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%+v|seed=%d frag=%g/%g dealloc=%g|%+v",
+		cfg, opt.Seed, opt.FragIndex, opt.FragOccupancy, opt.DeallocFraction, mopt)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
 // Simulator is one configured run. Use New then Run once.
 type Simulator struct {
-	cfg config.Config
-	opt Options
-	wl  workload.Workload
+	cfg    config.Config
+	opt    Options
+	wl     workload.Workload
+	digest string
 
 	q       *event.Queue
 	cycle   uint64
@@ -240,6 +265,7 @@ func New(cfg config.Config, wl workload.Workload, opt Options) (*Simulator, erro
 	if opt.MutateManager != nil {
 		opt.MutateManager(&mopt)
 	}
+	s.digest = configDigest(cfg, opt, mopt)
 	mgr, err := core.NewSystem(cfg, mopt, s.q, s.bus, s.mem)
 	if err != nil {
 		return nil, err
@@ -600,6 +626,7 @@ func (s *Simulator) results() Results {
 	r := Results{
 		Workload:          s.wl.Name,
 		Policy:            s.mgr.Name(),
+		ConfigDigest:      s.digest,
 		Cycles:            s.cycle,
 		L1TLBRequests:     s.l1Req,
 		L1TLBHits:         s.l1Hit,
@@ -616,6 +643,10 @@ func (s *Simulator) results() Results {
 	if s.pwc != nil {
 		r.PageWalkCache = s.pwc.Stats()
 	}
+	for _, m := range s.sms {
+		r.L1TLB = r.L1TLB.Add(m.l1tlb.Stats())
+	}
+	r.L2TLB = s.l2tlb.Stats()
 	for _, app := range s.apps {
 		fin := app.finishCycle
 		instr := app.instructions

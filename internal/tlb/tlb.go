@@ -23,14 +23,34 @@ type Key struct {
 	VPN  uint64
 }
 
-// Stats aggregates per-array hit/miss counters.
+// Stats aggregates per-array hit/miss counters. All counters are
+// monotonic within one simulation; Stats snapshots are cheap value
+// copies suitable for per-run export.
 type Stats struct {
 	BaseHits    uint64
 	BaseMisses  uint64
 	LargeHits   uint64
 	LargeMisses uint64
 	Insertions  uint64
-	Flushes     uint64
+	// Evictions counts insertions that displaced a valid entry with a
+	// different key (capacity/conflict replacement). Flushes are counted
+	// separately.
+	Evictions uint64
+	Flushes   uint64
+}
+
+// Add returns the field-wise sum of two snapshots, for aggregating the
+// per-SM L1 TLBs into one run-level record.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		BaseHits:    s.BaseHits + o.BaseHits,
+		BaseMisses:  s.BaseMisses + o.BaseMisses,
+		LargeHits:   s.LargeHits + o.LargeHits,
+		LargeMisses: s.LargeMisses + o.LargeMisses,
+		Insertions:  s.Insertions + o.Insertions,
+		Evictions:   s.Evictions + o.Evictions,
+		Flushes:     s.Flushes + o.Flushes,
+	}
 }
 
 // Hits returns total hits across both arrays.
@@ -108,7 +128,9 @@ func (e *entrySet) probe(k Key) bool {
 	return false
 }
 
-func (e *entrySet) insert(k Key, frame vmem.PhysAddr) {
+// insert caches a translation and reports whether a valid entry with a
+// different key was displaced to make room.
+func (e *entrySet) insert(k Key, frame vmem.PhysAddr) (evicted bool) {
 	base := e.setOf(k) * e.ways
 	e.tick++
 	victim := -1
@@ -118,7 +140,7 @@ func (e *entrySet) insert(k Key, frame vmem.PhysAddr) {
 		if w.valid && w.key == k {
 			w.frame = frame
 			w.lastUsed = e.tick
-			return
+			return false
 		}
 		if !w.valid {
 			if victim == -1 || e.arr[base+victim].valid {
@@ -131,7 +153,9 @@ func (e *entrySet) insert(k Key, frame vmem.PhysAddr) {
 			victim = i
 		}
 	}
+	evicted = e.arr[base+victim].valid
 	e.arr[base+victim] = way{key: k, frame: frame, valid: true, lastUsed: e.tick}
+	return evicted
 }
 
 func (e *entrySet) invalidate(k Key) bool {
@@ -261,13 +285,17 @@ func (t *TLB) LookupBase(asid vmem.ASID, va vmem.VirtAddr) (vmem.PhysAddr, bool)
 
 // InsertBase caches a base translation (frame = base frame address).
 func (t *TLB) InsertBase(asid vmem.ASID, va vmem.VirtAddr, frame vmem.PhysAddr) {
-	t.base.insert(Key{asid, va.BasePageNumber()}, frame)
+	if t.base.insert(Key{asid, va.BasePageNumber()}, frame) {
+		t.stats.Evictions++
+	}
 	t.stats.Insertions++
 }
 
 // InsertLarge caches a large translation (frame = large frame address).
 func (t *TLB) InsertLarge(asid vmem.ASID, va vmem.VirtAddr, frame vmem.PhysAddr) {
-	t.large.insert(Key{asid, va.LargePageNumber()}, frame)
+	if t.large.insert(Key{asid, va.LargePageNumber()}, frame) {
+		t.stats.Evictions++
+	}
 	t.stats.Insertions++
 }
 

@@ -177,6 +177,44 @@ func TestStats(t *testing.T) {
 	}
 }
 
+func TestEvictionCounting(t *testing.T) {
+	tl := MustNew(Config{Name: "ev", BaseEntries: 2, LargeEntries: 2})
+	tl.InsertBase(1, 0x1000, 0)
+	tl.InsertBase(1, 0x2000, 0)
+	if ev := tl.Stats().Evictions; ev != 0 {
+		t.Fatalf("Evictions = %d while under capacity, want 0", ev)
+	}
+	tl.InsertBase(1, 0x3000, 0) // displaces the LRU entry
+	if ev := tl.Stats().Evictions; ev != 1 {
+		t.Errorf("Evictions = %d after over-capacity insert, want 1", ev)
+	}
+	// Updating a resident key replaces in place: no eviction.
+	tl.InsertBase(1, 0x3000, 0x5000)
+	if ev := tl.Stats().Evictions; ev != 1 {
+		t.Errorf("Evictions = %d after in-place update, want 1", ev)
+	}
+	// Large array counts independently.
+	tl.InsertLarge(1, 0<<21, 0)
+	tl.InsertLarge(1, 1<<21, 0)
+	tl.InsertLarge(1, 2<<21, 0)
+	if ev := tl.Stats().Evictions; ev != 2 {
+		t.Errorf("Evictions = %d after large-array overflow, want 2", ev)
+	}
+	if ins := tl.Stats().Insertions; ins != 7 {
+		t.Errorf("Insertions = %d, want 7", ins)
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{BaseHits: 1, BaseMisses: 2, LargeHits: 3, LargeMisses: 4, Insertions: 5, Evictions: 6, Flushes: 7}
+	b := Stats{BaseHits: 10, BaseMisses: 20, LargeHits: 30, LargeMisses: 40, Insertions: 50, Evictions: 60, Flushes: 70}
+	got := a.Add(b)
+	want := Stats{BaseHits: 11, BaseMisses: 22, LargeHits: 33, LargeMisses: 44, Insertions: 55, Evictions: 66, Flushes: 77}
+	if got != want {
+		t.Errorf("Add = %+v, want %+v", got, want)
+	}
+}
+
 func TestPortGateThroughput(t *testing.T) {
 	g := NewPortGate(2)
 	// Four requests in cycle 10: two serve at 10, two at 11.

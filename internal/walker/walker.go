@@ -7,6 +7,8 @@
 package walker
 
 import (
+	"math/bits"
+
 	"repro/internal/pagetable"
 	"repro/internal/vmem"
 )
@@ -41,7 +43,12 @@ type request struct {
 	va   vmem.VirtAddr
 }
 
-// Stats aggregates walker activity.
+// LatencyBuckets is the number of power-of-two walk-latency histogram
+// buckets kept in Stats.
+const LatencyBuckets = 16
+
+// Stats aggregates walker activity. All counters are monotonic within
+// one simulation; Stats is a plain value, so a snapshot is one copy.
 type Stats struct {
 	Walks          uint64 // walks actually performed
 	Coalesced      uint64 // requests merged into an in-flight walk
@@ -49,6 +56,11 @@ type Stats struct {
 	MemoryAccesses uint64
 	TotalLatency   uint64 // sum of per-walk latencies, for averaging
 	MaxQueued      int
+	// LatencyHist buckets completed-walk latencies (cycles) by power of
+	// two: bucket 0 counts walks finishing in 0 or 1 cycles, bucket i
+	// (i >= 1) walks in [2^i, 2^(i+1)), and the last bucket is a
+	// catch-all for anything at or above 2^(LatencyBuckets-1) cycles.
+	LatencyHist [LatencyBuckets]uint64
 }
 
 // AvgLatency returns the mean walk latency in cycles.
@@ -57,6 +69,18 @@ func (s Stats) AvgLatency() float64 {
 		return 0
 	}
 	return float64(s.TotalLatency) / float64(s.Walks)
+}
+
+// latencyBucket maps one walk latency to its histogram bucket.
+func latencyBucket(lat uint64) int {
+	b := bits.Len64(lat) - 1 // floor(log2(lat)); -1 for lat == 0
+	if b < 0 {
+		b = 0
+	}
+	if b >= LatencyBuckets {
+		b = LatencyBuckets - 1
+	}
+	return b
 }
 
 // Walker is the shared page table walker. Not safe for concurrent use.
@@ -136,6 +160,7 @@ func (w *Walker) step(start, now uint64, r request, addrs []vmem.PhysAddr, i int
 func (w *Walker) finish(start, now uint64, r request) {
 	w.active--
 	w.stats.TotalLatency += now - start
+	w.stats.LatencyHist[latencyBucket(now-start)]++
 	tr, ok := w.tables.Translate(r.asid, r.va)
 	if !ok {
 		w.stats.Faults++

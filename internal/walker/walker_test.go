@@ -196,6 +196,47 @@ func TestCoalescedRegionWalk(t *testing.T) {
 	}
 }
 
+func TestLatencyHistogram(t *testing.T) {
+	q := &event.Queue{}
+	ft := newFakeTables()
+	ft.table(1).Map(0, 0)
+	ft.table(1).Map(vmem.BasePageSize, vmem.BasePageSize)
+	w := New(64, ft, fixedAccess(q, 25))
+	w.Walk(0, 1, 0, nil)
+	drain(q)
+	w.Walk(0, 1, vmem.VirtAddr(vmem.BasePageSize), nil)
+	drain(q)
+	s := w.Stats()
+	var sum uint64
+	for _, n := range s.LatencyHist {
+		sum += n
+	}
+	if sum != s.Walks {
+		t.Errorf("histogram sums to %d, want one count per walk (%d)", sum, s.Walks)
+	}
+	// Both walks take 4 accesses x 25 cycles = 100 cycles: bucket [64,128).
+	if s.LatencyHist[6] != 2 {
+		t.Errorf("LatencyHist = %v, want both walks in bucket 6", s.LatencyHist)
+	}
+}
+
+func TestLatencyBucketBounds(t *testing.T) {
+	cases := []struct {
+		lat  uint64
+		want int
+	}{
+		{0, 0}, {1, 0}, {2, 1}, {3, 1}, {4, 2},
+		{63, 5}, {64, 6}, {100, 6}, {127, 6}, {128, 7},
+		{1 << (LatencyBuckets - 1), LatencyBuckets - 1},
+		{^uint64(0), LatencyBuckets - 1}, // catch-all saturates
+	}
+	for _, c := range cases {
+		if got := latencyBucket(c.lat); got != c.want {
+			t.Errorf("latencyBucket(%d) = %d, want %d", c.lat, got, c.want)
+		}
+	}
+}
+
 func TestAvgLatency(t *testing.T) {
 	q := &event.Queue{}
 	ft := newFakeTables()

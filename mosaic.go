@@ -30,6 +30,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/harness"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -98,6 +99,8 @@ func AppByName(name string) (AppSpec, error) { return workload.ByName(name) }
 func Homogeneous(n int) []Workload { return workload.Homogeneous(n) }
 
 // Heterogeneous builds count workloads of n distinct random applications.
+// Composition is a pure function of (n, count, seed): the same arguments
+// always return the same workloads.
 func Heterogeneous(n, count int, seed int64) []Workload {
 	return workload.Heterogeneous(n, count, seed)
 }
@@ -105,17 +108,29 @@ func Heterogeneous(n, count int, seed int64) []Workload {
 // Pair builds a named two-application workload.
 func Pair(a, b string) (Workload, error) { return workload.Pair(a, b) }
 
-// SimOptions configures one simulation run.
+// SimOptions configures one simulation run: the memory-manager Policy,
+// the deterministic Seed driving the synthetic access streams, the
+// fragmentation/deallocation stress knobs of §6.4 (fractions in [0, 1]),
+// and optional trace recording.
 type SimOptions = sim.Options
 
-// Results reports one simulation run.
+// Results reports one simulation run: total Cycles (the simulated clock
+// at finish), per-application outcomes, request-granularity TLB hit
+// rates in [0, 1], every component's counters, and a ConfigDigest
+// identifying exactly which configuration produced them.
 type Results = sim.Results
 
-// AppResult reports one application's outcome within a run.
+// AppResult reports one application's outcome within a run. IPC is
+// instructions per cycle over the application's own runtime;
+// FinishCycle is in simulated cycles; BloatPct is physical memory
+// allocated beyond 4KB needs, in percent.
 type AppResult = sim.AppResult
 
 // Run executes one workload under the given policy and returns the
 // results (cycles, per-app IPC, TLB hit rates, component statistics).
+// The simulation is deterministic: the same configuration, workload, and
+// options always produce identical Results, independent of host, time,
+// or concurrency around the call.
 func Run(cfg Config, wl Workload, opt SimOptions) (Results, error) {
 	s, err := sim.New(cfg, wl, opt)
 	if err != nil {
@@ -126,12 +141,19 @@ func Run(cfg Config, wl Workload, opt SimOptions) (Results, error) {
 
 // Harness regenerates the paper's evaluation figures and tables. Its
 // Jobs field bounds how many simulations run concurrently (0 =
-// GOMAXPROCS, 1 = sequential); results are identical for every value.
+// GOMAXPROCS, 1 = sequential); structured results, rendered tables, and
+// JSON/CSV exports are byte-identical for every value. Set its Collect
+// field (or use CollectFigure) to capture a RunRecord for every
+// simulation an experiment executes.
 type Harness = harness.Harness
 
 // Runner is a fixed-size worker pool for executing independent
 // simulations concurrently — the engine behind Harness.Jobs, exported so
-// tools like mosaic-sweep can parallelize their own run grids.
+// tools like mosaic-sweep can parallelize their own run grids. Submit
+// never blocks on job execution; Wait returns when every submitted job
+// finished, re-raising the first panic. Determinism is the caller's
+// side of the contract: write each job's result into its own
+// pre-assigned slot and assemble in submission order after Wait.
 type Runner = harness.Runner
 
 // NewRunner starts a Runner with the given worker count (<= 0 means
@@ -180,6 +202,56 @@ const (
 	// AllocCoCoA is Mosaic's contiguity-conserving allocator.
 	AllocCoCoA = core.AllocCoCoA
 )
+
+// Structured export layer: run records, versioned reports, and report
+// diffing. See docs/RESULTS_SCHEMA.md for the serialized schema and its
+// compatibility policy.
+type (
+	// RunRecord is the structured outcome of one deterministic
+	// simulation: identity (workload, policy, config digest),
+	// throughput, and per-component counters. Cycle counts are in
+	// simulated cycles, IPC in instructions per cycle, rates in [0, 1].
+	RunRecord = metrics.RunRecord
+	// AppRecord is one application's outcome inside a RunRecord.
+	AppRecord = metrics.AppRecord
+	// ReportFigure is one exported experiment: the rendered table plus
+	// the run records behind it.
+	ReportFigure = metrics.Figure
+	// Report is a versioned bundle of exported figures. WriteJSON and
+	// WriteCSV are byte-deterministic: the same experiment serializes
+	// to identical bytes for every Harness.Jobs value.
+	Report = metrics.Report
+	// Collector accumulates RunRecords from concurrent simulations and
+	// returns them in a canonical order independent of completion
+	// order. Safe for concurrent use.
+	Collector = metrics.Collector
+	// DiffOptions tunes report comparison; Tol is a relative tolerance
+	// for numeric cells and derived floats (counters compare exactly).
+	DiffOptions = metrics.DiffOptions
+)
+
+// SchemaVersion is the version stamped into every exported Report; it
+// increments only when a field is removed, renamed, or changes meaning.
+const SchemaVersion = metrics.SchemaVersion
+
+// NewCollector returns an empty run-record collector, ready to assign to
+// Harness.Collect.
+func NewCollector() *Collector { return metrics.NewCollector() }
+
+// NewRunRecord converts one simulation result into its export record.
+func NewRunRecord(res Results) RunRecord { return metrics.NewRunRecord(res) }
+
+// ReadReport parses a JSON report produced by Report.WriteJSON (or the
+// -format json flag of mosaic-bench/mosaic-sweep) and validates its
+// schema version.
+func ReadReport(r io.Reader) (Report, error) { return metrics.ReadReport(r) }
+
+// DiffReports compares two reports figure by figure and returns one
+// human-readable line per difference; an empty result means the reports
+// agree. Diffing a report against itself always returns nothing.
+func DiffReports(a, b Report, opt DiffOptions) []string {
+	return metrics.DiffReports(a, b, opt)
+}
 
 // TraceEvent is one recorded memory-management event (far-fault, walk,
 // coalesce, splinter, compaction, migration, alloc, free). Enable
