@@ -24,6 +24,7 @@ import (
 	"strings"
 
 	mosaic "repro"
+	"repro/internal/cliutil"
 	"repro/internal/metrics"
 )
 
@@ -68,15 +69,13 @@ func main() {
 		}
 	}
 
-	out := io.Writer(os.Stdout)
-	if *outPath != "" {
-		f, err := os.Create(*outPath)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		out = f
+	// All output flows through an error-recording Output: write failures
+	// anywhere (including the unchecked fmt writes of text rendering)
+	// surface at the final Close and exit non-zero.
+	out, err := cliutil.OpenOutput(*outPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 	text := *format == "text"
 
@@ -106,17 +105,14 @@ func main() {
 			}
 		}
 		if *csvDir != "" {
-			f, err := os.Create(filepath.Join(*csvDir, fig.ID+".csv"))
+			tbl := fig.Table()
+			err := cliutil.WriteFile(filepath.Join(*csvDir, fig.ID+".csv"), func(w io.Writer) error {
+				return tbl.CSV(w)
+			})
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
-			tbl := fig.Table()
-			if err := tbl.CSV(f); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			f.Close()
 		}
 	}
 	// collect runs one experiment under a per-figure collector and emits
@@ -257,12 +253,14 @@ func main() {
 		})
 	}
 
-	var err error
 	switch *format {
 	case "json":
 		err = report.WriteJSON(out)
 	case "csv":
 		err = report.WriteCSV(out)
+	}
+	if err == nil {
+		err = out.Close()
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -1,5 +1,9 @@
 // Command mosaic-sim runs one multi-application workload on the simulated
-// GPU under a chosen memory manager and prints detailed results.
+// GPU under a chosen memory manager and prints detailed results. With
+// -server it submits the same runs to a mosaicd instance instead of
+// simulating locally: jobs are queued, deduplicated against the service's
+// digest-keyed cache, and polled until the report comes back — the
+// printed results and -record exports are byte-identical either way.
 //
 // Examples:
 //
@@ -7,15 +11,19 @@
 //	mosaic-sim -apps NW -policy gpummu-2mb -nopaging
 //	mosaic-sim -apps BFS2,SCAN,RED -policy all -scale 32
 //	mosaic-sim -apps HS,CONS -policy all -record runs.json
+//	mosaic-sim -server http://127.0.0.1:8641 -apps HS,CONS -policy mosaic
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	mosaic "repro"
+	"repro/internal/cliutil"
 )
 
 func main() {
@@ -28,8 +36,9 @@ func main() {
 		frag      = flag.Float64("frag", 0, "pre-fragmentation index [0,1] (§6.4 stress)")
 		fragOcc   = flag.Float64("frag-occupancy", 0.5, "pre-fragmented frame occupancy [0,1]")
 		dealloc   = flag.Float64("dealloc", 0, "fraction of a scratch buffer freed mid-run (exercises CAC)")
-		traceOut  = flag.String("trace", "", "write a JSON event trace to this file")
+		traceOut  = flag.String("trace", "", "write a JSON event trace to this file (local runs only)")
 		recordOut = flag.String("record", "", "write the runs' structured records as a JSON report to this file (see docs/RESULTS_SCHEMA.md)")
+		serverURL = flag.String("server", "", "submit to this mosaicd URL instead of simulating locally (see docs/SERVICE.md)")
 		list      = flag.Bool("list", false, "list the 27 suite applications and exit")
 	)
 	flag.Parse()
@@ -40,6 +49,43 @@ func main() {
 			fmt.Printf("%-6s %-8s %8dMB %8d %8d\n",
 				s.Name, s.Pattern, s.WorkingSetBytes>>20, s.ComputePerMem, s.Divergence)
 		}
+		return
+	}
+
+	policies, err := parsePolicies(*policy)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *serverURL != "" {
+		if *traceOut != "" {
+			fatal(fmt.Errorf("-trace is not supported with -server (traces never leave the service)"))
+		}
+		recs := make([]mosaic.RunRecord, 0, len(policies))
+		client := mosaic.NewServiceClient(*serverURL)
+		for _, p := range policies {
+			req := mosaic.RunRequest{
+				Apps:            strings.Split(*apps, ","),
+				Policy:          p.name,
+				Seed:            *seed,
+				Scale:           *scale,
+				NoPaging:        *nopaging,
+				FragIndex:       *frag,
+				FragOccupancy:   *fragOcc,
+				DeallocFraction: *dealloc,
+			}
+			rep, err := client.Run(context.Background(), req)
+			if err != nil {
+				fatal(err)
+			}
+			for _, fig := range rep.Figures {
+				for _, rec := range fig.Runs {
+					reportRecord(rec)
+					recs = append(recs, rec)
+				}
+			}
+		}
+		writeRecordsIfAsked(*recordOut, *apps, *seed, recs)
 		return
 	}
 
@@ -55,18 +101,12 @@ func main() {
 	for _, name := range strings.Split(*apps, ",") {
 		s, err := mosaic.AppByName(strings.TrimSpace(name))
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fatal(err)
 		}
 		specs = append(specs, s)
 	}
 	wl := mosaic.Workload{Name: *apps, Apps: specs}
 
-	policies, err := parsePolicies(*policy)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
 	traceLimit := 0
 	if *traceOut != "" {
 		traceLimit = 1 << 20
@@ -74,7 +114,7 @@ func main() {
 	var recs []mosaic.RunRecord
 	for _, p := range policies {
 		res, err := mosaic.Run(cfg, wl, mosaic.SimOptions{
-			Policy:          p,
+			Policy:          p.policy,
 			Seed:            *seed,
 			FragIndex:       *frag,
 			FragOccupancy:   *fragOcc,
@@ -82,34 +122,37 @@ func main() {
 			TraceLimit:      traceLimit,
 		})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fatal(err)
 		}
 		report(res)
 		recs = append(recs, mosaic.NewRunRecord(res))
 		if *traceOut != "" && res.Trace != nil {
 			if err := writeTrace(*traceOut, res); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				fatal(err)
 			}
 		}
 	}
-	if *recordOut != "" {
-		if err := writeRecords(*recordOut, *apps, *seed, recs); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+	writeRecordsIfAsked(*recordOut, *apps, *seed, recs)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
+func writeRecordsIfAsked(path, apps string, seed int64, recs []mosaic.RunRecord) {
+	if path == "" {
+		return
+	}
+	if err := writeRecords(path, apps, seed, recs); err != nil {
+		fatal(err)
 	}
 }
 
 // writeRecords exports the runs as a one-figure report, diffable with
-// mosaic-report like any mosaic-bench export.
+// mosaic-report like any mosaic-bench export. Local and -server runs of
+// the same flags export identical reports.
 func writeRecords(path, apps string, seed int64, recs []mosaic.RunRecord) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
 	rep := mosaic.Report{
 		SchemaVersion: mosaic.SchemaVersion,
 		Generator:     "mosaic-sim",
@@ -121,38 +164,48 @@ func writeRecords(path, apps string, seed int64, recs []mosaic.RunRecord) error 
 			Runs:  recs,
 		}},
 	}
-	return rep.WriteJSON(f)
+	return cliutil.WriteFile(path, rep.WriteJSON)
 }
 
 // writeTrace dumps the run's event trace as JSON (one file per policy
 // when several run: the policy name is appended).
 func writeTrace(path string, res mosaic.Results) error {
-	f, err := os.Create(path + "." + res.Policy + ".json")
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := res.Trace.WriteJSON(f); err != nil {
+	name := path + "." + res.Policy + ".json"
+	if err := cliutil.WriteFile(name, func(w io.Writer) error {
+		return res.Trace.WriteJSON(w)
+	}); err != nil {
 		return err
 	}
 	sum := mosaic.SummarizeTrace(res.Trace.Events())
 	fmt.Printf("trace: %d events (%d dropped) -> %s; walks avg %.0f cyc, faults avg %.0f cyc\n",
-		res.Trace.Len(), res.Trace.Dropped(), f.Name(), sum.AvgWalkLat, sum.AvgFaultLat)
+		res.Trace.Len(), res.Trace.Dropped(), name, sum.AvgWalkLat, sum.AvgFaultLat)
 	return nil
 }
 
-func parsePolicies(s string) ([]mosaic.Policy, error) {
+// namedPolicy pairs a manager with its wire/flag name, so local runs and
+// -server submissions derive from the same parse.
+type namedPolicy struct {
+	name   string
+	policy mosaic.Policy
+}
+
+func parsePolicies(s string) ([]namedPolicy, error) {
 	switch s {
 	case "gpummu":
-		return []mosaic.Policy{mosaic.GPUMMU4K}, nil
+		return []namedPolicy{{s, mosaic.GPUMMU4K}}, nil
 	case "gpummu-2mb":
-		return []mosaic.Policy{mosaic.GPUMMU2M}, nil
+		return []namedPolicy{{s, mosaic.GPUMMU2M}}, nil
 	case "mosaic":
-		return []mosaic.Policy{mosaic.Mosaic}, nil
+		return []namedPolicy{{s, mosaic.Mosaic}}, nil
 	case "ideal":
-		return []mosaic.Policy{mosaic.IdealTLB}, nil
+		return []namedPolicy{{s, mosaic.IdealTLB}}, nil
 	case "all":
-		return []mosaic.Policy{mosaic.GPUMMU4K, mosaic.GPUMMU2M, mosaic.Mosaic, mosaic.IdealTLB}, nil
+		return []namedPolicy{
+			{"gpummu", mosaic.GPUMMU4K},
+			{"gpummu-2mb", mosaic.GPUMMU2M},
+			{"mosaic", mosaic.Mosaic},
+			{"ideal", mosaic.IdealTLB},
+		}, nil
 	}
 	return nil, fmt.Errorf("unknown policy %q", s)
 }
@@ -160,24 +213,45 @@ func parsePolicies(s string) ([]mosaic.Policy, error) {
 func report(r mosaic.Results) {
 	fmt.Printf("=== %s on %s ===\n", r.Policy, r.Workload)
 	fmt.Printf("cycles: %d   total IPC: %.3f\n", r.Cycles, r.TotalIPC())
-	for _, a := range r.Apps {
-		status := "completed"
-		if !a.Completed {
-			status = "TIMED OUT"
-		}
+	for i, a := range r.Apps {
 		fmt.Printf("  app %d %-6s  IPC %.3f  instrs %d  finish @%d  bloat %.1f%%  (%s)\n",
-			a.ASID, a.Name, a.IPC, a.Instructions, a.FinishCycle, a.BloatPct, status)
+			i+1, a.Name, a.IPC, a.Instructions, a.FinishCycle, a.BloatPct, appStatus(a.Completed))
 	}
 	fmt.Printf("TLB: L1 %.1f%%  L2 %.1f%%  | walks %d (avg %.0f cyc)  walk faults %d\n",
 		r.L1TLBHitRate()*100, r.L2TLBHitRate()*100,
 		r.Walker.Walks, r.Walker.AvgLatency(), r.TranslationFaults)
+	printCommonTail(r.Manager, r.Bus, r.DRAM)
+}
+
+// reportRecord prints a fetched RunRecord in the same shape as a local
+// run's report, so -server output reads identically.
+func reportRecord(r mosaic.RunRecord) {
+	fmt.Printf("=== %s on %s ===\n", r.Policy, r.Workload)
+	fmt.Printf("cycles: %d   total IPC: %.3f\n", r.Cycles, r.TotalIPC)
+	for i, a := range r.Apps {
+		fmt.Printf("  app %d %-6s  IPC %.3f  instrs %d  finish @%d  bloat %.1f%%  (%s)\n",
+			i+1, a.Name, a.IPC, a.Instructions, a.FinishCycle, a.BloatPct, appStatus(a.Completed))
+	}
+	fmt.Printf("TLB: L1 %.1f%%  L2 %.1f%%  | walks %d (avg %.0f cyc)  walk faults %d\n",
+		r.L1TLBHitRate*100, r.L2TLBHitRate*100,
+		r.Walker.Walks, r.Walker.AvgLatency(), r.TranslationFaults)
+	printCommonTail(r.Manager, r.Bus, r.DRAM)
+}
+
+func appStatus(completed bool) string {
+	if completed {
+		return "completed"
+	}
+	return "TIMED OUT"
+}
+
+func printCommonTail(m mosaic.ManagerStats, b mosaic.BusStats, d mosaic.DRAMStats) {
 	fmt.Printf("manager: coalesces %d  splinters %d  compactions %d  migrated %d  far-faults %d\n",
-		r.Manager.Coalesces, r.Manager.Splinters, r.Manager.Compactions,
-		r.Manager.MigratedPages, r.Manager.FarFaults)
+		m.Coalesces, m.Splinters, m.Compactions, m.MigratedPages, m.FarFaults)
 	fmt.Printf("I/O bus: 4KB transfers %d  2MB transfers %d  busy %d cyc  queue delay %d cyc\n",
-		r.Bus.BaseTransfers, r.Bus.LargeTransfers, r.Bus.BusyCycles, r.Bus.TotalQueueDelay)
+		b.BaseTransfers, b.LargeTransfers, b.BusyCycles, b.TotalQueueDelay)
 	fmt.Printf("DRAM: accesses %d  row hits %.1f%%\n\n",
-		r.DRAM.Accesses, pct(r.DRAM.RowHits, r.DRAM.Accesses))
+		d.Accesses, pct(d.RowHits, d.Accesses))
 }
 
 func pct(a, b uint64) float64 {

@@ -13,12 +13,12 @@ package main
 import (
 	"flag"
 	"fmt"
-	"io"
 	"os"
 	"strconv"
 	"strings"
 
 	mosaic "repro"
+	"repro/internal/cliutil"
 	"repro/internal/metrics"
 )
 
@@ -157,20 +157,21 @@ func main() {
 		tbl.AddRowF(vs, row...)
 	}
 
-	out := io.Writer(os.Stdout)
-	if *outPath != "" {
-		f, err := os.Create(*outPath)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		out = f
+	// Output flows through an error-recording writer so render/export
+	// failures exit non-zero even where renderers drop errors.
+	out, err := cliutil.OpenOutput(*outPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 	if *format == "text" {
 		tbl.Render(out)
 		c := metrics.ChartFromTable(tbl)
 		c.Render(out)
+		if err := out.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		return
 	}
 	report := metrics.Report{
@@ -186,11 +187,13 @@ func main() {
 			Runs:    runs,
 		}},
 	}
-	var err error
 	if *format == "json" {
 		err = report.WriteJSON(out)
 	} else {
 		err = report.WriteCSV(out)
+	}
+	if err == nil {
+		err = out.Close()
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -1,0 +1,81 @@
+// Command mosaicd serves the deterministic simulator over HTTP: a
+// bounded job queue, a fixed worker pool, and a digest-keyed result
+// cache that deduplicates identical submissions. See docs/SERVICE.md
+// for the API and cache semantics.
+//
+// Examples:
+//
+//	mosaicd                             # :8641, GOMAXPROCS workers
+//	mosaicd -addr :9000 -workers 4 -queue 128
+//
+// Submit with mosaic-sim -server or internal/serviceclient:
+//
+//	mosaic-sim -server http://127.0.0.1:8641 -apps HS,CONS -policy mosaic
+//
+// SIGINT/SIGTERM drain gracefully: new submissions get 503, queued and
+// running jobs finish (bounded by -drain-timeout), then the process
+// exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8641", "HTTP listen address")
+		workers      = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		queue        = flag.Int("queue", 64, "job queue bound; submissions beyond it get 429")
+		drainTimeout = flag.Duration("drain-timeout", 5*time.Minute, "max time to finish in-flight runs on shutdown (0 = unbounded)")
+	)
+	flag.Parse()
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+	log.SetPrefix("mosaicd: ")
+
+	svc := server.New(server.Options{Workers: *workers, QueueSize: *queue})
+	hs := &http.Server{Addr: *addr, Handler: svc.Handler()}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s (workers %d, queue %d)", *addr, *workers, *queue)
+		errc <- hs.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case sig := <-sigc:
+		log.Printf("received %s, draining (in-flight runs finish, new submissions get 503)", sig)
+	}
+
+	ctx := context.Background()
+	if *drainTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *drainTimeout)
+		defer cancel()
+	}
+	if err := svc.Shutdown(ctx); err != nil {
+		log.Printf("drain incomplete: %v", err)
+		hs.Close()
+		os.Exit(1)
+	}
+	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	log.Printf("drained, bye")
+}

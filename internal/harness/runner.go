@@ -44,8 +44,19 @@ func NewRunner(workers int) *Runner {
 // Submit queues fn for execution, blocking while every worker is busy.
 // A panic inside fn is captured and re-raised by the next Wait, matching
 // the panic-on-error contract of Harness.mustRun.
+//
+// Submit must not be called after Close: the Runner's lifecycle is
+// Submit* → Wait → Close (Wait may interleave with further Submit
+// batches, Close is final). Violating the contract panics with a
+// harness-prefixed message.
 func (r *Runner) Submit(fn func()) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		panic("harness: Runner.Submit called after Close (lifecycle is Submit* → Wait → Close)")
+	}
 	r.flight.Add(1)
+	r.mu.Unlock()
 	r.jobs <- func() {
 		defer r.flight.Done()
 		defer func() {
@@ -76,8 +87,9 @@ func (r *Runner) Wait() {
 }
 
 // Close drains in-flight jobs and stops the workers. It does not
-// re-raise captured panics (use Wait first); a closed Runner must not be
-// reused.
+// re-raise captured panics (call Wait first — the Wait-before-Close
+// contract); a closed Runner must not be reused, and any later Submit
+// panics.
 func (r *Runner) Close() {
 	r.flight.Wait()
 	r.mu.Lock()

@@ -1,0 +1,42 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSubmitAfterClosePanicsClearly pins the misuse diagnostic: a Submit
+// after Close must panic with a harness-prefixed message, not the raw
+// runtime "send on closed channel".
+func TestSubmitAfterClosePanicsClearly(t *testing.T) {
+	r := NewRunner(2)
+	done := false
+	r.Submit(func() { done = true })
+	r.Wait()
+	r.Close()
+	if !done {
+		t.Fatal("job did not run before Close")
+	}
+
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("Submit after Close did not panic")
+		}
+		msg, ok := p.(string)
+		if !ok || !strings.HasPrefix(msg, "harness:") {
+			t.Fatalf("panic %v (%T), want harness-prefixed message", p, p)
+		}
+	}()
+	r.Submit(func() {})
+}
+
+// TestCloseIsIdempotent ensures a second Close is harmless, matching the
+// existing closed-flag guard.
+func TestCloseIsIdempotent(t *testing.T) {
+	r := NewRunner(1)
+	r.Submit(func() {})
+	r.Wait()
+	r.Close()
+	r.Close()
+}

@@ -1,0 +1,197 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/metrics"
+	"repro/internal/server"
+	"repro/internal/serviceclient"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// fastConfig is the FastTest configuration clamped like the simulator's
+// own unit tests, so real end-to-end runs stay quick.
+func fastConfig() config.Config {
+	c := config.FastTest()
+	c.MaxWarpInstructions = 128
+	return c
+}
+
+func startService(t *testing.T, opt server.Options) (*serviceclient.Client, *server.Server) {
+	t.Helper()
+	if opt.BaseConfig == nil {
+		opt.BaseConfig = fastConfig
+	}
+	s := server.New(opt)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	c := serviceclient.New(ts.URL)
+	c.PollInterval = 2 * time.Millisecond
+	return c, s
+}
+
+// TestEndToEnd exercises the acceptance path with real simulations:
+// two identical submissions execute once, serve byte-identical
+// schema-versioned reports, and the cache hit shows up in /metrics; the
+// remote result matches a local run of the same setup exactly.
+func TestEndToEnd(t *testing.T) {
+	client, _ := startService(t, server.Options{Workers: 2, QueueSize: 8})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	if err := client.Health(ctx); err != nil {
+		t.Fatalf("health: %v", err)
+	}
+
+	req := server.RunRequest{Apps: []string{"SCP"}, Policy: "mosaic", Seed: 3}
+	st1, err := client.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.Cached {
+		t.Fatal("first submission reported cached")
+	}
+	if _, err := client.Wait(ctx, st1.ID); err != nil {
+		t.Fatal(err)
+	}
+	bytes1, err := client.ResultBytes(ctx, st1.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := client.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st2.Cached || st2.ID != st1.ID || st2.State != server.JobDone {
+		t.Fatalf("identical resubmission not served from cache: %+v", st2)
+	}
+	bytes2, err := client.ResultBytes(ctx, st2.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bytes1, bytes2) {
+		t.Fatal("identical submissions served different bytes")
+	}
+
+	// The served report parses, carries the schema version, and its one
+	// record matches a local simulation of the same setup exactly.
+	rep, err := metrics.ReadReport(bytes.NewReader(bytes1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Figures) != 1 || len(rep.Figures[0].Runs) != 1 {
+		t.Fatalf("report shape: %d figures", len(rep.Figures))
+	}
+	remote := rep.Figures[0].Runs[0]
+
+	spec, err := workload.ByName("SCP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := workload.Workload{Name: "SCP", Apps: []workload.Spec{spec}}
+	pol, err := server.ParsePolicy("mosaic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := sim.New(fastConfig(), wl, sim.Options{Policy: pol, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sm.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := metrics.NewRunRecord(res)
+	if remote.ConfigDigest != local.ConfigDigest {
+		t.Errorf("remote digest %s != local %s", remote.ConfigDigest, local.ConfigDigest)
+	}
+	if remote.Cycles != local.Cycles || remote.TotalIPC != local.TotalIPC {
+		t.Errorf("remote (%d cyc, %g IPC) != local (%d cyc, %g IPC)",
+			remote.Cycles, remote.TotalIPC, local.Cycles, local.TotalIPC)
+	}
+
+	mtx, err := client.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"mosaicd_cache_hits_total 1",
+		"mosaicd_cache_misses_total 1",
+		"mosaicd_runs_completed_total 1",
+		"mosaicd_cache_hit_rate 0.5",
+	} {
+		if !strings.Contains(mtx, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestClientRunRoundTrip covers Client.Run end to end, including its
+// 429 retry loop against a tiny queue under a burst of distinct runs.
+func TestClientRunRoundTrip(t *testing.T) {
+	client, _ := startService(t, server.Options{Workers: 1, QueueSize: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	type out struct {
+		rep metrics.Report
+		err error
+	}
+	const n = 6
+	results := make(chan out, n)
+	for i := 0; i < n; i++ {
+		go func(seed int64) {
+			rep, err := client.Run(ctx, server.RunRequest{Apps: []string{"SCP"}, Seed: seed})
+			results <- out{rep, err}
+		}(int64(i))
+	}
+	for i := 0; i < n; i++ {
+		o := <-results
+		if o.err != nil {
+			t.Fatal(o.err)
+		}
+		if o.rep.SchemaVersion != metrics.SchemaVersion {
+			t.Fatalf("schema %d", o.rep.SchemaVersion)
+		}
+	}
+}
+
+// TestClientErrors maps service rejections onto the client's typed
+// errors.
+func TestClientErrors(t *testing.T) {
+	client, s := startService(t, server.Options{Workers: 1, QueueSize: 1})
+	ctx := context.Background()
+
+	if _, err := client.Submit(ctx, server.RunRequest{Apps: []string{"NOPE"}}); err == nil ||
+		!strings.Contains(err.Error(), "NOPE") {
+		t.Fatalf("unknown app error: %v", err)
+	}
+	if _, err := client.Status(ctx, "r424242"); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("unknown job error: %v", err)
+	}
+
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Submit(ctx, server.RunRequest{Apps: []string{"SCP"}}); err != serviceclient.ErrDraining {
+		t.Fatalf("draining submit error: %v", err)
+	}
+	if err := client.Health(ctx); err == nil {
+		t.Fatal("health reported ok while draining")
+	}
+}

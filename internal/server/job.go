@@ -1,0 +1,192 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// job is one accepted simulation: the validated request, the resolved
+// setup, and the mutable lifecycle state. A job is also the cache entry
+// for its (workload, policy, digest) key — identical submissions share
+// one job, so the simulation runs once and every fetch serves the same
+// serialized bytes.
+type job struct {
+	id     string
+	req    RunRequest
+	key    string
+	digest string
+	policy core.Policy
+	cfg    config.Config
+	wl     workload.Workload
+	simOpt sim.Options
+
+	mu     sync.Mutex
+	state  JobState
+	errMsg string
+	result []byte // serialized Report, set when state == JobDone
+	done   chan struct{}
+}
+
+// ParsePolicy maps a wire policy name (the mosaic-sim -policy values) to
+// the memory manager it selects. Empty selects Mosaic.
+func ParsePolicy(name string) (core.Policy, error) {
+	switch strings.TrimSpace(name) {
+	case "gpummu":
+		return core.GPUMMU4K, nil
+	case "gpummu-2mb":
+		return core.GPUMMU2M, nil
+	case "mosaic", "":
+		return core.Mosaic, nil
+	case "ideal":
+		return core.IdealTLB, nil
+	}
+	return 0, fmt.Errorf("unknown policy %q (want gpummu, gpummu-2mb, mosaic, or ideal)", name)
+}
+
+// buildJob validates a request and resolves it into a ready-to-run job:
+// configuration, workload, simulation options, and the digest-based
+// cache key. The returned job is not yet registered or enqueued.
+func (s *Server) buildJob(req RunRequest) (*job, error) {
+	if len(req.Apps) == 0 {
+		return nil, fmt.Errorf("apps required (see mosaic-sim -list for the suite)")
+	}
+	specs := make([]workload.Spec, 0, len(req.Apps))
+	names := make([]string, 0, len(req.Apps))
+	for _, name := range req.Apps {
+		spec, err := workload.ByName(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, spec)
+		names = append(names, spec.Name)
+	}
+	wl := workload.Workload{Name: strings.Join(names, ","), Apps: specs}
+
+	policy, err := ParsePolicy(req.Policy)
+	if err != nil {
+		return nil, err
+	}
+	if bad := func(v float64) bool { return v < 0 || v > 1 }; bad(req.FragIndex) ||
+		bad(req.FragOccupancy) || bad(req.DeallocFraction) {
+		return nil, fmt.Errorf("fragIndex, fragOccupancy, and deallocFraction must be in [0, 1]")
+	}
+
+	cfg := s.opt.BaseConfig()
+	if req.Scale > 0 {
+		cfg.WorkloadScale = req.Scale
+	}
+	if req.NoPaging {
+		cfg.IOBusEnabled = false
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(wl.Apps) > cfg.NumSMs {
+		return nil, fmt.Errorf("%d apps exceed %d SMs", len(wl.Apps), cfg.NumSMs)
+	}
+
+	simOpt := sim.Options{
+		Policy:          policy,
+		Seed:            req.Seed,
+		FragIndex:       req.FragIndex,
+		FragOccupancy:   req.FragOccupancy,
+		DeallocFraction: req.DeallocFraction,
+	}
+	digest := sim.Digest(cfg, simOpt)
+	return &job{
+		req:    req,
+		key:    wl.Name + "\x00" + policy.String() + "\x00" + digest,
+		digest: digest,
+		policy: policy,
+		cfg:    cfg,
+		wl:     wl,
+		simOpt: simOpt,
+		state:  JobQueued,
+		done:   make(chan struct{}),
+	}, nil
+}
+
+// status snapshots the job for a wire response.
+func (j *job) status(cached bool) JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JobStatus{
+		ID:           j.id,
+		State:        j.state,
+		Workload:     j.wl.Name,
+		Policy:       j.policy.String(),
+		ConfigDigest: j.digest,
+		Cached:       cached,
+		Error:        j.errMsg,
+	}
+}
+
+func (j *job) setRunning() {
+	j.mu.Lock()
+	j.state = JobRunning
+	j.mu.Unlock()
+}
+
+func (j *job) fail(msg string) {
+	j.mu.Lock()
+	j.state = JobFailed
+	j.errMsg = msg
+	j.mu.Unlock()
+	close(j.done)
+}
+
+func (j *job) complete(result []byte) {
+	j.mu.Lock()
+	j.state = JobDone
+	j.result = result
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// execute runs the job's simulation on a worker and serializes its
+// report. Panics (the simulator's internal-error convention) fail the
+// job instead of killing the worker.
+func (s *Server) execute(j *job) {
+	s.busyWorkers.Add(1)
+	defer s.busyWorkers.Add(-1)
+	j.setRunning()
+	defer func() {
+		if p := recover(); p != nil {
+			s.runsFailed.Add(1)
+			j.fail(fmt.Sprintf("simulation panic: %v", p))
+		}
+	}()
+	res, err := s.runSim(j.cfg, j.wl, j.simOpt)
+	if err != nil {
+		s.runsFailed.Add(1)
+		j.fail(err.Error())
+		return
+	}
+	rep := metrics.Report{
+		SchemaVersion: metrics.SchemaVersion,
+		Generator:     s.opt.Generator,
+		Seed:          j.simOpt.Seed,
+		Apps:          strings.Split(j.wl.Name, ","),
+		Figures: []metrics.Figure{{
+			ID:    "run",
+			Title: j.policy.String() + " on " + j.wl.Name,
+			Runs:  []metrics.RunRecord{metrics.NewRunRecord(res)},
+		}},
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		s.runsFailed.Add(1)
+		j.fail(err.Error())
+		return
+	}
+	s.runsCompleted.Add(1)
+	j.complete(buf.Bytes())
+}

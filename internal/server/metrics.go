@@ -1,0 +1,46 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// handleMetrics renders the service counters in the Prometheus text
+// exposition format (gauges and counters only, no labels), so both
+// humans with curl and standard scrapers can read queue pressure, cache
+// effectiveness, and worker utilization.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	hits, misses := s.cacheHits.Load(), s.cacheMisses.Load()
+	hitRate := 0.0
+	if hits+misses > 0 {
+		hitRate = float64(hits) / float64(hits+misses)
+	}
+	busy := s.busyWorkers.Load()
+	util := float64(busy) / float64(s.workers)
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	type metric struct {
+		name, help, typ, val string
+	}
+	for _, m := range []metric{
+		{"mosaicd_queue_depth", "Jobs accepted and waiting for a worker.", "gauge", strconv.Itoa(len(s.queue))},
+		{"mosaicd_queue_capacity", "Bounded queue size; submissions beyond it get 429.", "gauge", strconv.Itoa(cap(s.queue))},
+		{"mosaicd_workers", "Size of the simulation worker pool.", "gauge", strconv.Itoa(s.workers)},
+		{"mosaicd_workers_busy", "Workers currently executing a simulation.", "gauge", strconv.FormatInt(busy, 10)},
+		{"mosaicd_worker_utilization", "Busy workers / pool size, in [0, 1].", "gauge", formatFloat(util)},
+		{"mosaicd_jobs_accepted_total", "Submissions enqueued as new jobs.", "counter", strconv.FormatUint(s.accepted.Load(), 10)},
+		{"mosaicd_jobs_rejected_total", "Submissions rejected with 429 (queue full).", "counter", strconv.FormatUint(s.rejected.Load(), 10)},
+		{"mosaicd_runs_completed_total", "Simulations finished successfully.", "counter", strconv.FormatUint(s.runsCompleted.Load(), 10)},
+		{"mosaicd_runs_failed_total", "Simulations that errored or panicked.", "counter", strconv.FormatUint(s.runsFailed.Load(), 10)},
+		{"mosaicd_cache_hits_total", "Submissions served by an existing identical job.", "counter", strconv.FormatUint(hits, 10)},
+		{"mosaicd_cache_misses_total", "Submissions that required a new simulation.", "counter", strconv.FormatUint(misses, 10)},
+		{"mosaicd_cache_hit_rate", "Hits / (hits + misses), in [0, 1].", "gauge", formatFloat(hitRate)},
+	} {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %s\n", m.name, m.help, m.name, m.typ, m.name, m.val)
+	}
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,255 @@
+// Package server implements mosaicd, a long-running HTTP simulation
+// service over the deterministic simulator: submissions enter a bounded
+// job queue (429 on overflow), a fixed worker pool executes them via the
+// same harness.Runner that powers the CLI's -jobs mode, and results are
+// cached under their (workload, policy, ConfigDigest) identity so
+// identical submissions run once and serve byte-identical reports.
+//
+// The HTTP API (docs/SERVICE.md):
+//
+//	POST /v1/runs             submit a RunRequest → JobStatus
+//	GET  /v1/runs/{id}        job lifecycle status
+//	GET  /v1/runs/{id}/result schema-versioned Report JSON of a done job
+//	GET  /healthz             liveness (503 while draining)
+//	GET  /metrics             text-format service counters
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/config"
+	"repro/internal/harness"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Workers is the number of simulations run concurrently
+	// (0 = GOMAXPROCS).
+	Workers int
+	// QueueSize bounds how many accepted jobs may wait for a worker
+	// (0 = 64). Submissions beyond queue + workers are rejected with
+	// HTTP 429.
+	QueueSize int
+	// Generator is stamped into served reports (empty = "mosaicd").
+	Generator string
+	// BaseConfig supplies the configuration a request starts from
+	// before its Scale/NoPaging mutations (nil = config.Eval, matching
+	// mosaic-sim's local mode).
+	BaseConfig func() config.Config
+}
+
+// Server is one mosaicd instance. Create with New, expose Handler over
+// HTTP, and stop with Shutdown.
+type Server struct {
+	opt    Options
+	mux    *http.ServeMux
+	runner *harness.Runner
+	queue  chan *job
+
+	// runSim executes one simulation; tests stub it to control timing.
+	runSim func(config.Config, workload.Workload, sim.Options) (sim.Results, error)
+
+	mu       sync.Mutex
+	draining bool
+	jobs     map[string]*job
+	cache    map[string]*job
+	seq      uint64
+
+	drained chan struct{} // closed once the queue is drained and workers stopped
+
+	workers       int
+	busyWorkers   atomic.Int64
+	accepted      atomic.Uint64
+	rejected      atomic.Uint64
+	runsCompleted atomic.Uint64
+	runsFailed    atomic.Uint64
+	cacheHits     atomic.Uint64
+	cacheMisses   atomic.Uint64
+}
+
+// New starts a Server: its worker pool runs until Shutdown.
+func New(opt Options) *Server {
+	if opt.Workers <= 0 {
+		opt.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opt.QueueSize <= 0 {
+		opt.QueueSize = 64
+	}
+	if opt.Generator == "" {
+		opt.Generator = "mosaicd"
+	}
+	if opt.BaseConfig == nil {
+		opt.BaseConfig = config.Eval
+	}
+	s := &Server{
+		opt:     opt,
+		mux:     http.NewServeMux(),
+		runner:  harness.NewRunner(opt.Workers),
+		queue:   make(chan *job, opt.QueueSize),
+		jobs:    make(map[string]*job),
+		cache:   make(map[string]*job),
+		drained: make(chan struct{}),
+		workers: opt.Workers,
+		runSim: func(cfg config.Config, wl workload.Workload, so sim.Options) (sim.Results, error) {
+			sm, err := sim.New(cfg, wl, so)
+			if err != nil {
+				return sim.Results{}, err
+			}
+			return sm.Run()
+		},
+	}
+	s.mux.HandleFunc("POST /v1/runs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/runs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+
+	// The dispatcher feeds queued jobs to the worker pool; Runner.Submit
+	// blocks while every worker is busy, which is exactly the
+	// backpressure that keeps the bounded queue meaningful.
+	go func() {
+		for j := range s.queue {
+			j := j
+			s.runner.Submit(func() { s.execute(j) })
+		}
+		s.runner.Wait()
+		s.runner.Close()
+		close(s.drained)
+	}()
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Shutdown drains gracefully: new submissions are rejected immediately,
+// queued and running jobs finish, then the worker pool stops. It
+// returns early with ctx's error if the context expires first (the
+// drain itself keeps going — abandoning simulations would leave
+// accepted jobs unfinished).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue) // no sends can follow: submissions check draining under mu
+	}
+	s.mu.Unlock()
+	select {
+	case <-s.drained:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("parsing request: %v", err))
+		return
+	}
+	j, err := s.buildJob(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	if existing, ok := s.cache[j.key]; ok {
+		s.mu.Unlock()
+		s.cacheHits.Add(1)
+		writeJSON(w, http.StatusOK, existing.status(true))
+		return
+	}
+	s.seq++
+	j.id = fmt.Sprintf("r%06d", s.seq)
+	select {
+	case s.queue <- j:
+		s.jobs[j.id] = j
+		s.cache[j.key] = j
+		s.mu.Unlock()
+		s.cacheMisses.Add(1)
+		s.accepted.Add(1)
+		writeJSON(w, http.StatusAccepted, j.status(false))
+	default:
+		s.seq--
+		s.mu.Unlock()
+		s.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "job queue full, retry later")
+	}
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such run")
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status(false))
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such run")
+		return
+	}
+	j.mu.Lock()
+	state, errMsg, result := j.state, j.errMsg, j.result
+	j.mu.Unlock()
+	switch state {
+	case JobDone:
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(result)
+	case JobFailed:
+		writeError(w, http.StatusInternalServerError, errMsg)
+	default:
+		// Not terminal yet: report the lifecycle state so pollers can
+		// distinguish "be patient" from "gone".
+		writeJSON(w, http.StatusAccepted, j.status(false))
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Write([]byte("ok\n"))
+}
+
+func (s *Server) lookup(id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, apiError{Error: msg})
+}

@@ -1,0 +1,66 @@
+// Wire types of the mosaicd HTTP API. These are part of the service's
+// compatibility surface (see docs/SERVICE.md): fields may be added, but
+// not removed or renamed, without a protocol discussion.
+package server
+
+// RunRequest is the body of POST /v1/runs: one simulation to execute.
+// The zero value of every optional field means "the mosaic-sim default"
+// — the server builds the same evaluation configuration the CLI builds
+// locally, so a remote submission and a local run of the same flags
+// produce byte-identical reports.
+type RunRequest struct {
+	// Apps is the workload: suite application names, in order (the
+	// order is part of the workload identity). Required.
+	Apps []string
+	// Policy selects the memory manager: gpummu | gpummu-2mb | mosaic |
+	// ideal. Empty means mosaic.
+	Policy string `json:",omitempty"`
+	// Seed is the deterministic seed (same meaning as mosaic-sim -seed).
+	Seed int64 `json:",omitempty"`
+	// Scale overrides the working-set scale divisor when positive.
+	Scale int `json:",omitempty"`
+	// NoPaging disables demand paging (all data resident).
+	NoPaging bool `json:",omitempty"`
+	// FragIndex/FragOccupancy pre-fragment physical memory (§6.4).
+	FragIndex     float64 `json:",omitempty"`
+	FragOccupancy float64 `json:",omitempty"`
+	// DeallocFraction frees part of a scratch buffer mid-run.
+	DeallocFraction float64 `json:",omitempty"`
+}
+
+// JobState is one step of the job lifecycle.
+type JobState string
+
+// The lifecycle is queued → running → done | failed. States never move
+// backwards; done and failed are terminal.
+const (
+	JobQueued  JobState = "queued"
+	JobRunning JobState = "running"
+	JobDone    JobState = "done"
+	JobFailed  JobState = "failed"
+)
+
+// Terminal reports whether the state is done or failed.
+func (s JobState) Terminal() bool { return s == JobDone || s == JobFailed }
+
+// JobStatus is the response of POST /v1/runs and GET /v1/runs/{id}.
+type JobStatus struct {
+	// ID addresses the job in GET /v1/runs/{id} and .../result.
+	ID    string
+	State JobState
+	// Workload/Policy/ConfigDigest identify the simulation exactly:
+	// equal triples mean byte-identical results (the cache key).
+	Workload     string
+	Policy       string
+	ConfigDigest string
+	// Cached is set on submission responses when the request was
+	// deduplicated onto an existing job instead of enqueueing a new one.
+	Cached bool `json:",omitempty"`
+	// Error carries the failure message of a failed job.
+	Error string `json:",omitempty"`
+}
+
+// apiError is the JSON body of every non-2xx response.
+type apiError struct {
+	Error string
+}

@@ -1,0 +1,214 @@
+// Package serviceclient is the Go client for mosaicd (internal/server):
+// submit simulations, poll their lifecycle, and fetch schema-versioned
+// result reports. The package speaks only the service's HTTP API, so a
+// client and server from the same module version always agree on wire
+// types.
+package serviceclient
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/server"
+)
+
+// ErrQueueFull marks an HTTP 429: the service's bounded job queue is
+// full. Submit surfaces it untouched so callers can apply their own
+// backoff; Run retries it internally.
+var ErrQueueFull = errors.New("serviceclient: job queue full (HTTP 429)")
+
+// ErrDraining marks an HTTP 503: the service is shutting down and
+// rejects new submissions while in-flight jobs finish.
+var ErrDraining = errors.New("serviceclient: server draining (HTTP 503)")
+
+// Client talks to one mosaicd instance. The zero value is unusable;
+// create with New.
+type Client struct {
+	// BaseURL is the service root, e.g. "http://127.0.0.1:8641".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+	// PollInterval spaces Wait's status polls (default 200ms).
+	PollInterval time.Duration
+}
+
+// New returns a client for the service at baseURL.
+func New(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+// Submit posts one RunRequest. The returned status carries the job ID
+// to poll; Cached is set when the service deduplicated the submission
+// onto an existing identical job. A full queue returns ErrQueueFull, a
+// draining server ErrDraining.
+func (c *Client) Submit(ctx context.Context, req server.RunRequest) (server.JobStatus, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return server.JobStatus{}, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/runs", bytes.NewReader(body))
+	if err != nil {
+		return server.JobStatus{}, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(hreq)
+	if err != nil {
+		return server.JobStatus{}, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK, http.StatusAccepted:
+		var st server.JobStatus
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			return server.JobStatus{}, fmt.Errorf("serviceclient: parsing submit response: %w", err)
+		}
+		return st, nil
+	case http.StatusTooManyRequests:
+		return server.JobStatus{}, ErrQueueFull
+	case http.StatusServiceUnavailable:
+		return server.JobStatus{}, ErrDraining
+	default:
+		return server.JobStatus{}, apiError("submit", resp)
+	}
+}
+
+// Status fetches a job's lifecycle state.
+func (c *Client) Status(ctx context.Context, id string) (server.JobStatus, error) {
+	var st server.JobStatus
+	body, err := c.get(ctx, "/v1/runs/"+id, "status")
+	if err != nil {
+		return st, err
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		return st, fmt.Errorf("serviceclient: parsing status: %w", err)
+	}
+	return st, nil
+}
+
+// Wait polls until the job reaches a terminal state. It returns the
+// terminal status; a failed job is reported as an error carrying the
+// job's failure message.
+func (c *Client) Wait(ctx context.Context, id string) (server.JobStatus, error) {
+	interval := c.PollInterval
+	if interval <= 0 {
+		interval = 200 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		st, err := c.Status(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		if st.State == server.JobFailed {
+			return st, fmt.Errorf("serviceclient: run %s failed: %s", id, st.Error)
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// ResultBytes fetches a done job's report verbatim — the exact bytes
+// the service serialized, byte-identical across identical submissions.
+func (c *Client) ResultBytes(ctx context.Context, id string) ([]byte, error) {
+	return c.get(ctx, "/v1/runs/"+id+"/result", "result")
+}
+
+// Result fetches and parses a done job's schema-versioned Report.
+func (c *Client) Result(ctx context.Context, id string) (metrics.Report, error) {
+	body, err := c.ResultBytes(ctx, id)
+	if err != nil {
+		return metrics.Report{}, err
+	}
+	return metrics.ReadReport(bytes.NewReader(body))
+}
+
+// Run is the full round trip: submit, wait, fetch. ErrQueueFull is
+// retried with backoff until the context expires, so callers can treat
+// a busy service like a slow one.
+func (c *Client) Run(ctx context.Context, req server.RunRequest) (metrics.Report, error) {
+	backoff := 100 * time.Millisecond
+	var st server.JobStatus
+	for {
+		var err error
+		st, err = c.Submit(ctx, req)
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, ErrQueueFull) {
+			return metrics.Report{}, err
+		}
+		select {
+		case <-ctx.Done():
+			return metrics.Report{}, fmt.Errorf("serviceclient: giving up on full queue: %w", ctx.Err())
+		case <-time.After(backoff):
+		}
+		if backoff < 2*time.Second {
+			backoff *= 2
+		}
+	}
+	if _, err := c.Wait(ctx, st.ID); err != nil {
+		return metrics.Report{}, err
+	}
+	return c.Result(ctx, st.ID)
+}
+
+// Health checks /healthz; nil means the service accepts submissions.
+func (c *Client) Health(ctx context.Context) error {
+	_, err := c.get(ctx, "/healthz", "health")
+	return err
+}
+
+// Metrics fetches the text-format service counters.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	body, err := c.get(ctx, "/metrics", "metrics")
+	return string(body), err
+}
+
+func (c *Client) get(ctx context.Context, path, what string) ([]byte, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(what, resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// apiError converts a non-2xx response into a descriptive error,
+// preferring the service's JSON error body.
+func apiError(what string, resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+	var ae struct{ Error string }
+	if json.Unmarshal(body, &ae) == nil && ae.Error != "" {
+		return fmt.Errorf("serviceclient: %s: %s (HTTP %d)", what, ae.Error, resp.StatusCode)
+	}
+	return fmt.Errorf("serviceclient: %s: HTTP %d", what, resp.StatusCode)
+}

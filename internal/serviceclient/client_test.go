@@ -1,0 +1,135 @@
+package serviceclient
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/server"
+)
+
+// fakeService scripts the wire protocol without running simulations:
+// the first rejects submissions 429, then a job walks queued → running
+// → done with a canned report.
+type fakeService struct {
+	rejects   atomic.Int32 // remaining 429s to serve
+	polls     atomic.Int32
+	pollsToGo int32 // status polls before the job reports done
+}
+
+func (f *fakeService) handler(t *testing.T) http.Handler {
+	report := metrics.Report{SchemaVersion: metrics.SchemaVersion, Generator: "fake", Seed: 9}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/runs", func(w http.ResponseWriter, r *http.Request) {
+		if f.rejects.Add(-1) >= 0 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"Error":"job queue full, retry later"}`)
+			return
+		}
+		var req server.RunRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Errorf("bad submit body: %v", err)
+		}
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(server.JobStatus{ID: "r000001", State: server.JobQueued})
+	})
+	mux.HandleFunc("GET /v1/runs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st := server.JobStatus{ID: r.PathValue("id"), State: server.JobRunning}
+		if f.polls.Add(1) > f.pollsToGo {
+			st.State = server.JobDone
+		}
+		json.NewEncoder(w).Encode(st)
+	})
+	mux.HandleFunc("GET /v1/runs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		report.WriteJSON(w)
+	})
+	return mux
+}
+
+func TestRunRetriesQueueFull(t *testing.T) {
+	f := &fakeService{pollsToGo: 2}
+	f.rejects.Store(2)
+	ts := httptest.NewServer(f.handler(t))
+	defer ts.Close()
+
+	c := New(ts.URL + "/") // trailing slash must not double up
+	c.PollInterval = time.Millisecond
+
+	rep, err := c.Run(context.Background(), server.RunRequest{Apps: []string{"SCP"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Seed != 9 {
+		t.Fatalf("report seed %d", rep.Seed)
+	}
+	if f.rejects.Load() >= 0 {
+		t.Fatal("client did not retry through the scripted 429s")
+	}
+	if f.polls.Load() <= 2 {
+		t.Fatalf("only %d status polls", f.polls.Load())
+	}
+}
+
+func TestSubmitSurfacesTypedErrors(t *testing.T) {
+	mux := http.NewServeMux()
+	code := http.StatusTooManyRequests
+	mux.HandleFunc("POST /v1/runs", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(code)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	c := New(ts.URL)
+
+	if _, err := c.Submit(context.Background(), server.RunRequest{}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("429 → %v, want ErrQueueFull", err)
+	}
+	code = http.StatusServiceUnavailable
+	if _, err := c.Submit(context.Background(), server.RunRequest{}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("503 → %v, want ErrDraining", err)
+	}
+	code = http.StatusBadRequest
+	if _, err := c.Submit(context.Background(), server.RunRequest{}); err == nil {
+		t.Fatal("400 → nil error")
+	}
+}
+
+func TestWaitReportsFailure(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/runs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(server.JobStatus{
+			ID: r.PathValue("id"), State: server.JobFailed, Error: "it broke",
+		})
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	c := New(ts.URL)
+	c.PollInterval = time.Millisecond
+
+	if _, err := c.Wait(context.Background(), "r1"); err == nil ||
+		!strings.Contains(err.Error(), "it broke") {
+		t.Fatalf("failed job error: %v", err)
+	}
+}
+
+func TestRunGivesUpWhenContextExpires(t *testing.T) {
+	f := &fakeService{}
+	f.rejects.Store(1 << 30) // always full
+	ts := httptest.NewServer(f.handler(t))
+	defer ts.Close()
+	c := New(ts.URL)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := c.Run(ctx, server.RunRequest{Apps: []string{"SCP"}}); err == nil {
+		t.Fatal("Run against a permanently full queue returned nil")
+	}
+}

@@ -1,0 +1,47 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+)
+
+// TestDigestMatchesRun pins the contract services rely on: the digest
+// computed before a run equals the ConfigDigest the run stamps into its
+// Results.
+func TestDigestMatchesRun(t *testing.T) {
+	cfg := config.FastTest()
+	cfg.MaxWarpInstructions = 128
+	opt := Options{Policy: core.Mosaic, Seed: 7}
+	want := Digest(cfg, opt)
+
+	r := run(t, core.Mosaic, singleApp(t, "SCP"), func(c *config.Config) { *c = cfg }, Options{Seed: 7})
+	if r.ConfigDigest != want {
+		t.Fatalf("Digest %s != run ConfigDigest %s", want, r.ConfigDigest)
+	}
+}
+
+// TestDigestSensitivity checks the digest separates setups that differ in
+// config, seed, policy, or mutated manager options.
+func TestDigestSensitivity(t *testing.T) {
+	cfg := config.FastTest()
+	base := Digest(cfg, Options{Policy: core.Mosaic, Seed: 1})
+
+	if d := Digest(cfg, Options{Policy: core.Mosaic, Seed: 2}); d == base {
+		t.Error("seed change did not change digest")
+	}
+	if d := Digest(cfg, Options{Policy: core.GPUMMU4K, Seed: 1}); d == base {
+		t.Error("policy change did not change digest")
+	}
+	cfg2 := cfg
+	cfg2.L1TLBBaseEntries *= 2
+	if d := Digest(cfg2, Options{Policy: core.Mosaic, Seed: 1}); d == base {
+		t.Error("config change did not change digest")
+	}
+	mut := Options{Policy: core.Mosaic, Seed: 1,
+		MutateManager: func(o *core.Options) { o.CAC = core.CACOff }}
+	if d := Digest(cfg, mut); d == base {
+		t.Error("manager mutation did not change digest")
+	}
+}

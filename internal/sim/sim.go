@@ -203,6 +203,19 @@ func (r Results) TotalIPC() float64 {
 	return t
 }
 
+// Digest returns the ConfigDigest that Run would stamp into Results for
+// this configuration and these options, without building a simulator.
+// It lets services key result caches before deciding whether to run:
+// equal digests (plus equal workload and policy) mean the simulation
+// would produce byte-identical results.
+func Digest(cfg config.Config, opt Options) string {
+	mopt := core.OptionsFor(opt.Policy, cfg)
+	if opt.MutateManager != nil {
+		opt.MutateManager(&mopt)
+	}
+	return configDigest(cfg, opt, mopt)
+}
+
 // configDigest hashes everything that determines a run's outcome: the
 // full configuration, the scalar simulation options, and the resolved
 // manager options (which capture MutateManager's effect). The printed

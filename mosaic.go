@@ -27,12 +27,19 @@ package mosaic
 import (
 	"io"
 
+	"repro/internal/alloc"
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/dram"
 	"repro/internal/harness"
+	"repro/internal/iobus"
 	"repro/internal/metrics"
+	"repro/internal/server"
+	"repro/internal/serviceclient"
 	"repro/internal/sim"
+	"repro/internal/tlb"
 	"repro/internal/trace"
+	"repro/internal/walker"
 	"repro/internal/workload"
 )
 
@@ -252,6 +259,60 @@ func ReadReport(r io.Reader) (Report, error) { return metrics.ReadReport(r) }
 func DiffReports(a, b Report, opt DiffOptions) []string {
 	return metrics.DiffReports(a, b, opt)
 }
+
+// Per-component counter types, as embedded in Results and RunRecord.
+type (
+	// TLBStats counts lookups, hits, and evictions per TLB array.
+	TLBStats = tlb.Stats
+	// WalkerStats counts page walks and their latency distribution.
+	WalkerStats = walker.Stats
+	// DRAMStats counts DRAM accesses and row-buffer behavior.
+	DRAMStats = dram.Stats
+	// BusStats counts demand-paging transfers over the system I/O bus.
+	BusStats = iobus.Stats
+	// ManagerStats counts memory-manager events (coalesces, splinters,
+	// compactions, migrations, far-faults).
+	ManagerStats = core.Stats
+	// AllocStats counts physical allocator activity.
+	AllocStats = alloc.Stats
+)
+
+// Simulation service layer: mosaicd (cmd/mosaicd) serves the simulator
+// over HTTP with a bounded job queue and a digest-keyed result cache,
+// and ServiceClient is its Go client. See docs/SERVICE.md.
+type (
+	// Service is an embeddable mosaicd instance: create with
+	// NewService, mount Handler on an HTTP server, stop with Shutdown
+	// (which drains in-flight runs).
+	Service = server.Server
+	// ServiceOptions sizes a Service: worker pool, queue bound, base
+	// configuration.
+	ServiceOptions = server.Options
+	// RunRequest is one simulation submission (POST /v1/runs).
+	RunRequest = server.RunRequest
+	// JobStatus reports a submitted run's lifecycle state.
+	JobStatus = server.JobStatus
+	// JobState is the lifecycle: queued → running → done | failed.
+	JobState = server.JobState
+	// ServiceClient submits, polls, and fetches runs from a mosaicd
+	// instance.
+	ServiceClient = serviceclient.Client
+)
+
+// Job lifecycle states.
+const (
+	JobQueued  = server.JobQueued
+	JobRunning = server.JobRunning
+	JobDone    = server.JobDone
+	JobFailed  = server.JobFailed
+)
+
+// NewService starts an in-process simulation service (the engine of
+// cmd/mosaicd). Its worker pool runs until Shutdown.
+func NewService(opt ServiceOptions) *Service { return server.New(opt) }
+
+// NewServiceClient returns a client for the mosaicd instance at baseURL.
+func NewServiceClient(baseURL string) *ServiceClient { return serviceclient.New(baseURL) }
 
 // TraceEvent is one recorded memory-management event (far-fault, walk,
 // coalesce, splinter, compaction, migration, alloc, free). Enable
