@@ -299,3 +299,60 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	}
 	b.ReportMetric(float64(cycles)/float64(b.N), "cycles/run")
 }
+
+// ---- Sim-core microbenchmarks (BENCH_simcore.json) ----
+//
+// The BenchmarkSimCore* family isolates the simulated-cycle hot paths the
+// engine overhaul targets: the per-cycle warp issue loop, the TLB/cache
+// translate+data path, and demand-paging event-queue churn. Before/after
+// numbers are recorded in BENCH_simcore.json; the pure event-queue micro
+// lives in internal/event (BenchmarkSimCoreEventQueue*) and the
+// allocation-counting access-path micro in internal/sim
+// (BenchmarkSimCoreMemAccess).
+
+// BenchmarkSimCoreIssueLoop stresses the warp scheduler: the ideal TLB
+// bypasses translation and demand paging is off, so nearly all time goes
+// to the per-cycle issue/wake machinery.
+func BenchmarkSimCoreIssueLoop(b *testing.B) {
+	cfg := benchConfig()
+	cfg.IOBusEnabled = false
+	wl := benchWorkload(b, "CONS")
+	b.ResetTimer()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		r := runOnce(b, cfg, wl, mosaic.IdealTLB, nil)
+		cycles += r.Cycles
+	}
+	b.ReportMetric(float64(cycles)/float64(b.N), "cycles/run")
+}
+
+// BenchmarkSimCoreTranslate stresses the translation path: a strided,
+// TLB-hostile application under the 4KB baseline drives L1/L2 TLB
+// lookups, port gates, and page walks with demand paging off.
+func BenchmarkSimCoreTranslate(b *testing.B) {
+	cfg := benchConfig()
+	cfg.IOBusEnabled = false
+	wl := benchWorkload(b, "NW")
+	b.ResetTimer()
+	var walks uint64
+	for i := 0; i < b.N; i++ {
+		r := runOnce(b, cfg, wl, mosaic.GPUMMU4K, nil)
+		walks += r.Walker.Walks
+	}
+	b.ReportMetric(float64(walks)/float64(b.N), "walks/run")
+}
+
+// BenchmarkSimCorePaging stresses event-queue churn at the system level:
+// demand paging floods the future-event queue with transfer completions
+// and far-fault wakeups.
+func BenchmarkSimCorePaging(b *testing.B) {
+	cfg := benchConfig()
+	wl := benchWorkload(b, "HS", "CONS")
+	b.ResetTimer()
+	var transfers uint64
+	for i := 0; i < b.N; i++ {
+		r := runOnce(b, cfg, wl, mosaic.Mosaic, nil)
+		transfers += r.Bus.TotalTransfers()
+	}
+	b.ReportMetric(float64(transfers)/float64(b.N), "transfers/run")
+}

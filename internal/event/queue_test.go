@@ -123,3 +123,136 @@ func TestOrderingProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// ---- Sim-core microbenchmarks (see BENCH_simcore.json) ----
+
+// BenchmarkSimCoreEventQueue measures steady-state Schedule/RunDue churn:
+// a window of future events drained in cycle order, the simulator's
+// dominant queue pattern.
+func BenchmarkSimCoreEventQueue(b *testing.B) {
+	var q Queue
+	fn := func(uint64) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base := uint64(i) * 8
+		for j := uint64(0); j < 8; j++ {
+			q.Schedule(base+j, fn)
+		}
+		q.RunDue(base + 7)
+	}
+}
+
+// BenchmarkSimCoreEventQueueSameCycle measures the same-cycle cascade
+// pattern: callbacks scheduling follow-up work for the cycle currently
+// being drained (MSHR completions, coalesced fault wakeups).
+func BenchmarkSimCoreEventQueueSameCycle(b *testing.B) {
+	var q Queue
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := uint64(i)
+		q.Schedule(c, func(at uint64) {
+			q.Schedule(at, func(at2 uint64) {
+				q.Schedule(at2, func(uint64) {})
+			})
+		})
+		q.RunDue(c)
+	}
+}
+
+// TestSameCycleInterleaving pins the fast-path ordering contract: heap
+// items already queued for the drain cycle run before items scheduled
+// during the drain, and drain-scheduled items run in FIFO order — the
+// exact (cycle, seq) order of the plain-heap implementation.
+func TestSameCycleInterleaving(t *testing.T) {
+	var q Queue
+	var got []string
+	q.Schedule(5, func(at uint64) {
+		got = append(got, "a")
+		q.Schedule(at, func(uint64) { got = append(got, "a1") })
+		q.Schedule(at, func(uint64) { got = append(got, "a2") })
+	})
+	q.Schedule(5, func(uint64) { got = append(got, "b") })
+	q.RunDue(5)
+	want := "a,b,a1,a2"
+	if s := join(got); s != want {
+		t.Errorf("same-cycle order = %s, want %s", s, want)
+	}
+}
+
+// TestEarlierCycleBeatsSameCycleFIFO: an event scheduled during a drain
+// for an earlier (overdue) cycle still runs before already-buffered
+// same-cycle events, because cycle order dominates sequence order.
+func TestEarlierCycleBeatsSameCycleFIFO(t *testing.T) {
+	var q Queue
+	var got []string
+	q.Schedule(10, func(uint64) {
+		got = append(got, "first")
+		q.Schedule(10, func(uint64) { got = append(got, "fifo") })
+		q.Schedule(7, func(at uint64) {
+			if at != 7 {
+				t.Errorf("overdue event fired with at=%d, want 7", at)
+			}
+			got = append(got, "overdue")
+		})
+	})
+	q.RunDue(10)
+	want := "first,overdue,fifo"
+	if s := join(got); s != want {
+		t.Errorf("order = %s, want %s", s, want)
+	}
+}
+
+// TestLenAndNextCycleDuringDrain: bookkeeping stays consistent while the
+// fast-path FIFO holds items.
+func TestLenAndNextCycleDuringDrain(t *testing.T) {
+	var q Queue
+	q.Schedule(3, func(at uint64) {
+		q.Schedule(at, func(uint64) {})
+		if q.Len() != 1 {
+			t.Errorf("Len mid-drain = %d, want 1", q.Len())
+		}
+		if c, ok := q.NextCycle(); !ok || c != 3 {
+			t.Errorf("NextCycle mid-drain = %d,%v, want 3,true", c, ok)
+		}
+	})
+	q.RunDue(3)
+	if q.Len() != 0 {
+		t.Errorf("Len after drain = %d, want 0", q.Len())
+	}
+}
+
+// TestScheduleAllocFree: steady-state scheduling performs zero per-event
+// allocations once the backing arrays are warm.
+func TestScheduleAllocFree(t *testing.T) {
+	var q Queue
+	fn := func(uint64) {}
+	// Warm the heap and FIFO capacity.
+	for i := uint64(0); i < 64; i++ {
+		q.Schedule(i, fn)
+	}
+	q.RunDue(64)
+	var c uint64
+	allocs := testing.AllocsPerRun(1000, func() {
+		for j := uint64(0); j < 8; j++ {
+			q.Schedule(c+j, fn)
+		}
+		q.RunDue(c + 7)
+		c += 8
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Schedule/RunDue allocates %.1f per round, want 0", allocs)
+	}
+}
+
+func join(ss []string) string {
+	out := ""
+	for i, s := range ss {
+		if i > 0 {
+			out += ","
+		}
+		out += s
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+var update = flag.Bool("update", false, "rewrite the RunRecord golden fixtures")
+
+// TestRunRecordFixture pins the exported RunRecord of a mixed workload
+// under each compared policy to a byte-exact fixture captured before the
+// simulator hot-loop overhaul (ready-set scheduling, pooled memory
+// requests, monomorphic event queue). Any engine change that perturbs
+// scheduling order, a counter, or a float shows up here as a byte diff.
+//
+// Regenerate (only when a timing-model change is intentional) with:
+//
+//	go test ./internal/metrics -run TestRunRecordFixture -update
+func TestRunRecordFixture(t *testing.T) {
+	cfg := config.FastTest()
+	cfg.MaxWarpInstructions = 128
+	hs, err := workload.ByName("HS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons, err := workload.ByName("CONS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := workload.Workload{Name: "HS-CONS", Apps: []workload.Spec{hs, cons}}
+
+	policies := []struct {
+		policy core.Policy
+		slug   string
+	}{
+		{core.GPUMMU4K, "gpummu4k"},
+		{core.Mosaic, "mosaic"},
+		{core.IdealTLB, "ideal"},
+	}
+	for _, p := range policies {
+		t.Run(p.slug, func(t *testing.T) {
+			s, err := sim.New(cfg, wl, sim.Options{Policy: p.policy, Seed: 21})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := s.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec := NewRunRecord(res)
+			got, err := json.MarshalIndent(rec, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, '\n')
+
+			path := filepath.Join("testdata", "runrecord-"+p.slug+".golden.json")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("reading fixture (run with -update to create): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("RunRecord for %s deviates from the pre-refactor fixture %s;\n"+
+					"the simulation is no longer byte-identical. If a timing-model fix\n"+
+					"intentionally changed results, regenerate with -update and call it\n"+
+					"out in the PR.\ngot:\n%s", p.policy, path, got)
+			}
+		})
+	}
+}

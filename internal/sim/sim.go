@@ -63,7 +63,6 @@ const (
 type warp struct {
 	idx         int
 	state       warpState
-	readyAt     uint64
 	computeLeft int
 	gen         *workload.StreamGen
 	outstanding int
@@ -77,7 +76,10 @@ type warp struct {
 	jitterState uint64
 }
 
-// jitter returns the warp's next 0..2 extra compute cycles.
+// jitter returns the warp's next 0..4 extra compute cycles. (The range is
+// pinned by golden results: the LCG's top bits mod 5 yield 0..4, and every
+// recorded figure depends on that spread, so it must not be "corrected"
+// to a narrower one.)
 func (w *warp) jitter() int {
 	w.jitterState = w.jitterState*6364136223846793005 + 1442695040888963407
 	return int(w.jitterState>>33) % 5
@@ -91,6 +93,15 @@ type sm struct {
 	warps   []*warp
 	lastIdx int
 	live    int // warps not yet done
+
+	// Ready-set scheduler state (see sched.go): issuable warps as a
+	// bitmask, plus waiting warps split between a single-cycle "soon"
+	// mask and a min-heap of odd wake cycles.
+	ready  []uint64
+	soon   []uint64
+	soonAt uint64
+	soonN  int
+	wake   []wakeEnt
 }
 
 // buffer is one contiguous virtual allocation of an application. Real
@@ -252,6 +263,16 @@ type Simulator struct {
 
 	liveApps int
 	rec      *trace.Recorder
+
+	// deallocPoll is pollDealloc bound once, so re-arming the poll on the
+	// event queue does not allocate a fresh method value each period.
+	deallocPoll event.Func
+
+	// Free lists for the pooled memory-access path (see memory.go). Both
+	// are LIFO stacks; objects carry their callbacks pre-bound, so the
+	// steady-state translate+data path performs no allocations.
+	reqFree  []*memReq
+	fillFree []*fillReq
 
 	l1Req, l1Hit uint64
 	l2Req, l2Hit uint64
@@ -433,16 +454,17 @@ func (s *Simulator) setupApps() error {
 				l1cache: cache.MustNew(fmt.Sprintf("L1-%d", smID),
 					s.cfg.L1CacheBytes, s.cfg.L1CacheLineSz, s.cfg.L1CacheWays),
 			}
+			m.initSched(s.cfg.WarpsPerSM)
 			for wi := 0; wi < s.cfg.WarpsPerSM; wi++ {
 				w := &warp{
 					idx:         wi,
 					computeLeft: cap.ComputePerMem,
 					gen:         cap.NewStream(s.cfg, warpIdx, warpTotal, s.opt.Seed^int64(asid)<<32),
 					jitterState: uint64(warpIdx)*0x9E3779B97F4A7C15 + uint64(asid),
-					// Stagger warp start cycles so SMs do not issue their
-					// first memory burst in perfect lockstep.
-					readyAt: uint64((warpIdx * 13) % 173),
 				}
+				// Stagger warp start cycles so SMs do not issue their
+				// first memory burst in perfect lockstep.
+				m.wakeAdd(wi, uint64((warpIdx*13)%173))
 				warpIdx++
 				m.warps = append(m.warps, w)
 			}
@@ -461,6 +483,13 @@ func (s *Simulator) setupApps() error {
 // Run executes the simulation to completion (or MaxCycles) and returns
 // the results. It must be called once.
 func (s *Simulator) Run() (Results, error) {
+	if s.opt.DeallocFraction > 0 {
+		// Dealloc polling rides the event queue so idle fast-forward can
+		// never starve it (it used to key off s.cycle&0x1FFF == 0, which
+		// fast-forward could jump straight over).
+		s.deallocPoll = s.pollDealloc
+		s.q.Schedule(deallocPollPeriod, s.deallocPoll)
+	}
 	for s.liveApps > 0 && s.cycle < s.cfg.MaxCycles {
 		s.q.RunDue(s.cycle)
 
@@ -471,7 +500,6 @@ func (s *Simulator) Run() (Results, error) {
 					issued = true
 				}
 			}
-			s.maybeDealloc()
 		}
 
 		s.cycle++
@@ -507,32 +535,33 @@ func (s *Simulator) Run() (Results, error) {
 	return s.results(), nil
 }
 
-// nextWarpWake returns the earliest readyAt among ready warps that are
-// waiting on a future cycle, or 0 when none are.
+// nextWarpWake returns the earliest wake cycle among warps waiting on a
+// future (>= s.cycle) cycle, or 0 when none are. Warps whose wake cycle
+// already passed (possible across a GPU-wide stall) are promoted into
+// their SM's issuable set and — matching the scan this replaced — not
+// reported as wake-up targets.
 func (s *Simulator) nextWarpWake() uint64 {
 	var min uint64
 	for _, m := range s.sms {
 		if m.live == 0 {
 			continue
 		}
-		for _, w := range m.warps {
-			if w.state == warpReady && w.readyAt > s.cycle-1 {
-				if min == 0 || w.readyAt < min {
-					min = w.readyAt
-				}
-			}
+		if w := m.wakeMin(s.cycle); w != 0 && (min == 0 || w < min) {
+			min = w
 		}
 	}
 	return min
 }
 
-// maybeDealloc frees a fraction of each application's buffer once it is
-// halfway done, to exercise deallocation paths and CAC. It polls cheaply
-// (every 8K cycles) since scanning warps is O(total warps).
-func (s *Simulator) maybeDealloc() {
-	if s.opt.DeallocFraction <= 0 || s.cycle&0x1FFF != 0 {
-		return
-	}
+// deallocPollPeriod matches the old maybeDealloc cadence (every 8K cycles).
+const deallocPollPeriod = 0x2000
+
+// pollDealloc frees a fraction of each application's buffer once it is
+// halfway done, to exercise deallocation paths and CAC. It re-arms itself
+// on the event queue until every app has either deallocated or completed,
+// so the poll fires even through idle fast-forward.
+func (s *Simulator) pollDealloc(c uint64) {
+	pending := false
 	for _, app := range s.apps {
 		if app.deallocDone || app.completed {
 			continue
@@ -546,6 +575,7 @@ func (s *Simulator) maybeDealloc() {
 			}
 		}
 		if left*2 > total {
+			pending = true
 			continue
 		}
 		app.deallocDone = true
@@ -557,47 +587,43 @@ func (s *Simulator) maybeDealloc() {
 		scratch := vmem.AlignUp(ws/2, vmem.LargePageSize)
 		last := app.buffers[len(app.buffers)-1]
 		scratchVA := vmem.VirtAddr(vmem.AlignUp(uint64(last.va)+last.size, vmem.LargePageSize)) + vmem.LargePageSize
-		if err := s.mgr.AllocVirtual(s.cycle, app.asid, scratchVA, scratch); err == nil {
+		if err := s.mgr.AllocVirtual(c, app.asid, scratchVA, scratch); err == nil {
 			frac := vmem.AlignDown(uint64(float64(scratch)*s.opt.DeallocFraction), vmem.BasePageSize)
-			_ = s.mgr.FreeVirtual(s.cycle, app.asid, scratchVA, frac)
+			_ = s.mgr.FreeVirtual(c, app.asid, scratchVA, frac)
 		}
+	}
+	if pending {
+		s.q.Schedule(c+deallocPollPeriod, s.deallocPoll)
 	}
 }
 
 // issueSM issues at most one instruction on one SM using GTO scheduling:
 // keep issuing from the last warp until it stalls, then pick the oldest
-// ready warp.
+// ready warp. Candidates come from the incrementally maintained issuable
+// set, so an SM with nothing to do costs O(1), not O(warps).
 func (s *Simulator) issueSM(m *sm) bool {
 	if m.live == 0 {
 		return false
 	}
-	w := m.warps[m.lastIdx]
-	if !s.warpReady(w) {
-		w = nil
-		for _, cand := range m.warps { // oldest = lowest index
-			if s.warpReady(cand) {
-				w = cand
-				break
-			}
-		}
-		if w == nil {
+	m.drainBefore(s.cycle + 1)
+	idx := m.lastIdx
+	if !m.issuable(idx) {
+		idx = m.firstIssuable() // oldest = lowest index
+		if idx < 0 {
 			return false
 		}
-		m.lastIdx = w.idx
+		m.lastIdx = idx
 	}
-	s.issueWarp(m, w)
+	s.issueWarp(m, m.warps[idx])
 	return true
-}
-
-func (s *Simulator) warpReady(w *warp) bool {
-	return w.state == warpReady && w.readyAt <= s.cycle
 }
 
 func (s *Simulator) issueWarp(m *sm, w *warp) {
 	if w.computeLeft > 0 {
 		w.computeLeft--
 		w.retired++
-		w.readyAt = s.cycle + 1
+		m.clearIssuable(w.idx)
+		m.wakeAdd(w.idx, s.cycle+1)
 		return
 	}
 	var buf [8]uint64
@@ -607,22 +633,16 @@ func (s *Simulator) issueWarp(m *sm, w *warp) {
 		return
 	}
 	w.state = warpBlocked
+	m.clearIssuable(w.idx)
 	w.outstanding = n
 	for i := 0; i < n; i++ {
-		s.memInstr(m, m.app.addrOf(buf[i]), func(c uint64) {
-			w.outstanding--
-			if w.outstanding == 0 {
-				w.state = warpReady
-				w.readyAt = c + 1
-				w.retired++
-				w.computeLeft = w.gen.Spec().ComputePerMem + w.jitter()
-			}
-		})
+		s.memInstr(m, w, m.app.addrOf(buf[i]))
 	}
 }
 
 func (s *Simulator) finishWarp(m *sm, w *warp) {
 	w.state = warpDone
+	m.clearIssuable(w.idx)
 	m.live--
 	m.app.instructions += w.retired
 	if m.live == 0 {

@@ -367,6 +367,21 @@ func NewPortGate(ports int) *PortGate {
 
 // Admit returns the cycle at which a request arriving at now actually
 // begins service, accounting for port contention.
+//
+// Contract: returned service cycles are monotonically non-decreasing
+// across calls regardless of arrival order. The gate arbitrates at its
+// high-water cycle: a retrograde arrival — now earlier than the latest
+// service cycle, which happens because callers compute arrivals from
+// different base cycles (the L2 data ports admit both SM accesses and
+// walker PTE reads) — is treated as arriving at the high-water cycle and
+// queues behind requests already admitted there. The gate never
+// retroactively reclaims ports in a cycle it has already arbitrated, so
+// results are deterministic for any admission order the event queue
+// produces, and per-cycle port counts are respected at the cycle the
+// gate arbitrated, not at the caller's nominal arrival cycle. This
+// accounting is pinned by golden results; do not "fix" retrograde
+// arrivals to be serviced at max(now, first free port cycle) computed
+// per-arrival.
 func (g *PortGate) Admit(now uint64) uint64 {
 	if now > g.cycle {
 		g.cycle = now

@@ -250,6 +250,57 @@ func TestPortGateNeverGoesBackward(t *testing.T) {
 	}
 }
 
+// TestPortGateRetrogradeArrivals pins the documented high-water contract:
+// a request arriving earlier than the gate's latest service cycle (which
+// happens when callers compute arrivals from different base cycles) is
+// serviced at the high-water cycle, queued behind requests already
+// admitted there — it never rewinds arbitration.
+func TestPortGateRetrogradeArrivals(t *testing.T) {
+	g := NewPortGate(2)
+	if got := g.Admit(10); got != 10 {
+		t.Fatalf("first request served at %d, want 10", got)
+	}
+	// Retrograde arrival at 3: takes the second port of cycle 10.
+	if got := g.Admit(3); got != 10 {
+		t.Errorf("retrograde request served at %d, want 10", got)
+	}
+	// Cycle 10's ports are exhausted; the next retrograde arrival slips.
+	if got := g.Admit(7); got != 11 {
+		t.Errorf("second retrograde request served at %d, want 11", got)
+	}
+	// An arrival past the high-water mark reopens arbitration at now.
+	if got := g.Admit(12); got != 12 {
+		t.Errorf("later request served at %d, want 12", got)
+	}
+}
+
+// Property: for arbitrary (including retrograde) arrival orders, service
+// cycles are monotonically non-decreasing, never precede the arrival, and
+// no service cycle admits more requests than the gate has ports.
+func TestPortGateServiceMonotoneAnyOrder(t *testing.T) {
+	const ports = 3
+	prop := func(arrivals []uint16) bool {
+		g := NewPortGate(ports)
+		perCycle := make(map[uint64]int)
+		var last uint64
+		for _, a := range arrivals {
+			now := uint64(a % 50)
+			s := g.Admit(now)
+			if s < now || s < last {
+				return false
+			}
+			last = s
+			if perCycle[s]++; perCycle[s] > ports {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
 // Property: inserting then probing the same key always hits, for both
 // arrays, across random ASIDs and addresses.
 func TestInsertProbeProperty(t *testing.T) {

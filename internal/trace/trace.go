@@ -196,8 +196,16 @@ func Summarize(evs []Event) Summary {
 	return s
 }
 
+// MaxHistogramBuckets caps the slice Histogram allocates. A tiny bucket
+// width against a multi-billion-cycle trace used to size the output from
+// maxCycle/bucketCycles directly — an unbounded, caller-controlled
+// allocation. Events past the cap are counted in the final bucket.
+const MaxHistogramBuckets = 1 << 20
+
 // Histogram buckets event counts of one kind over fixed cycle intervals,
-// for activity-over-time profiles.
+// for activity-over-time profiles. At most MaxHistogramBuckets buckets
+// are allocated; events beyond the last bucket's interval accumulate in
+// the last bucket.
 func Histogram(evs []Event, kind Kind, bucketCycles uint64) []uint64 {
 	if bucketCycles == 0 || len(evs) == 0 {
 		return nil
@@ -208,10 +216,18 @@ func Histogram(evs []Event, kind Kind, bucketCycles uint64) []uint64 {
 			maxCycle = ev.Cycle
 		}
 	}
-	out := make([]uint64, maxCycle/bucketCycles+1)
+	buckets := maxCycle/bucketCycles + 1
+	if buckets > MaxHistogramBuckets {
+		buckets = MaxHistogramBuckets
+	}
+	out := make([]uint64, buckets)
 	for _, ev := range evs {
 		if ev.Kind == kind {
-			out[ev.Cycle/bucketCycles]++
+			b := ev.Cycle / bucketCycles
+			if b >= buckets {
+				b = buckets - 1
+			}
+			out[b]++
 		}
 	}
 	return out

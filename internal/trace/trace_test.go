@@ -127,6 +127,36 @@ func TestHistogram(t *testing.T) {
 	}
 }
 
+// TestHistogramBucketClamp checks that a huge cycle span against a tiny
+// bucket width cannot force an unbounded allocation: the bucket count is
+// clamped and out-of-range events accumulate in the final bucket, so no
+// event is dropped.
+func TestHistogramBucketClamp(t *testing.T) {
+	evs := []Event{
+		{Cycle: 0, Kind: EvWalk},
+		{Cycle: 42, Kind: EvWalk},
+		{Cycle: 1 << 60, Kind: EvWalk}, // naive sizing: 2^60 buckets
+		{Cycle: 1<<60 + 7, Kind: EvWalk},
+	}
+	h := Histogram(evs, EvWalk, 1)
+	if len(h) != MaxHistogramBuckets {
+		t.Fatalf("len = %d, want clamp at %d", len(h), MaxHistogramBuckets)
+	}
+	if h[0] != 1 || h[42] != 1 {
+		t.Errorf("in-range buckets = %d, %d, want 1, 1", h[0], h[42])
+	}
+	if last := h[len(h)-1]; last != 2 {
+		t.Errorf("overflow bucket = %d, want 2", last)
+	}
+	var total uint64
+	for _, n := range h {
+		total += n
+	}
+	if total != 4 {
+		t.Errorf("total = %d, want 4 (no events dropped)", total)
+	}
+}
+
 func TestByKindAndSort(t *testing.T) {
 	evs := []Event{
 		{Cycle: 30, Kind: EvWalk},
