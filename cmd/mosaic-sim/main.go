@@ -39,6 +39,7 @@ func main() {
 		traceOut  = flag.String("trace", "", "write a JSON event trace to this file (local runs only)")
 		recordOut = flag.String("record", "", "write the runs' structured records as a JSON report to this file (see docs/RESULTS_SCHEMA.md)")
 		serverURL = flag.String("server", "", "submit to this mosaicd URL instead of simulating locally (see docs/SERVICE.md)")
+		timeout   = flag.Duration("timeout", 0, "with -server: per-job deadline covering queue wait and run (0 = server default)")
 		list      = flag.Bool("list", false, "list the 27 suite applications and exit")
 	)
 	flag.Parse()
@@ -61,6 +62,9 @@ func main() {
 		if *traceOut != "" {
 			fatal(fmt.Errorf("-trace is not supported with -server (traces never leave the service)"))
 		}
+		if *timeout < 0 {
+			fatal(fmt.Errorf("-timeout must be non-negative"))
+		}
 		recs := make([]mosaic.RunRecord, 0, len(policies))
 		client := mosaic.NewServiceClient(*serverURL)
 		for _, p := range policies {
@@ -73,6 +77,7 @@ func main() {
 				FragIndex:       *frag,
 				FragOccupancy:   *fragOcc,
 				DeallocFraction: *dealloc,
+				TimeoutMS:       timeout.Milliseconds(),
 			}
 			rep, err := client.Run(context.Background(), req)
 			if err != nil {

@@ -26,11 +26,37 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/server"
 )
+
+// faultFlags collects repeated -fault point=action[:arg] specs into a
+// registry. A nil registry (no -fault flags) keeps the injection points
+// at their zero-overhead disarmed path.
+type faultFlags struct{ reg *faults.Registry }
+
+func (f *faultFlags) String() string {
+	if f.reg == nil {
+		return ""
+	}
+	return strings.Join(f.reg.Armed(), ",")
+}
+
+func (f *faultFlags) Set(spec string) error {
+	name, tr, err := faults.ParseSpec(spec)
+	if err != nil {
+		return err
+	}
+	if f.reg == nil {
+		f.reg = faults.New()
+	}
+	f.reg.Arm(name, tr)
+	return nil
+}
 
 func main() {
 	var (
@@ -38,12 +64,23 @@ func main() {
 		workers      = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
 		queue        = flag.Int("queue", 64, "job queue bound; submissions beyond it get 429")
 		drainTimeout = flag.Duration("drain-timeout", 5*time.Minute, "max time to finish in-flight runs on shutdown (0 = unbounded)")
+		jobTimeout   = flag.Duration("job-timeout", 0, "per-job deadline covering queue wait and run, overridable per request via timeoutMS (0 = unbounded)")
+		injected     faultFlags
 	)
+	flag.Var(&injected, "fault", "arm a fault injection point, e.g. server.exec.begin=panic:1 (repeatable; see internal/faults)")
 	flag.Parse()
 	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
 	log.SetPrefix("mosaicd: ")
+	if injected.reg != nil {
+		log.Printf("fault injection armed: %s", injected.String())
+	}
 
-	svc := server.New(server.Options{Workers: *workers, QueueSize: *queue})
+	svc := server.New(server.Options{
+		Workers:        *workers,
+		QueueSize:      *queue,
+		DefaultTimeout: *jobTimeout,
+		Faults:         injected.reg,
+	})
 	hs := &http.Server{Addr: *addr, Handler: svc.Handler()}
 
 	errc := make(chan error, 1)

@@ -1,0 +1,292 @@
+// Package faults is a deterministic fault-injection registry for chaos
+// testing the service stack (and any future subsystem: DRAM error
+// modeling, multi-backend sharding). Code under test declares named
+// injection points and calls Fire/FireCtx/CorruptBytes at them; tests
+// (or mosaicd -fault flags) arm triggers on those points to force
+// failures, delays, panics, or corrupted results exactly where and when
+// they want them.
+//
+// The registry is built to disappear when unused: a nil *Registry is
+// valid and inert, and Fire on a registry with nothing armed is a
+// single atomic load — zero allocations, no locks — so injection
+// points can live on hot paths permanently (guarded by
+// testing.AllocsPerRun in faults_test.go).
+package faults
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the default error returned by a firing failure
+// trigger. Tests match it with errors.Is.
+var ErrInjected = errors.New("faults: injected failure")
+
+// Trigger describes what happens when an armed injection point fires.
+// The zero value does nothing; combine fields freely — timing (Block,
+// Delay) applies first, then Panic, then failure (Err).
+type Trigger struct {
+	// Times bounds how many fires trigger the failure/panic/corrupt
+	// effect: the first Times fires trigger, later ones pass through.
+	// 0 means every fire triggers while the point stays armed.
+	Times int
+	// Err, when non-nil (or Fail is set), is returned by Fire. Setting
+	// Fail with a nil Err returns ErrInjected.
+	Err error
+	// Fail marks the trigger as a failure even with Err == nil.
+	Fail bool
+	// Delay sleeps before returning (FireCtx returns ctx.Err() early if
+	// the context ends first).
+	Delay time.Duration
+	// Block, when non-nil, blocks the fire until the channel is closed
+	// (or the FireCtx context ends). Closing the channel is the test's
+	// deterministic "release" — no timing guesswork.
+	Block <-chan struct{}
+	// Panic makes the fire panic with a "faults:"-prefixed message,
+	// exercising the caller's recovery path.
+	Panic bool
+	// Corrupt makes CorruptBytes at this point flip a byte of its
+	// input, modeling a corrupted result payload. Fire ignores it.
+	Corrupt bool
+}
+
+// fails reports whether the trigger carries a failure effect.
+func (tr Trigger) fails() bool { return tr.Fail || tr.Err != nil }
+
+// point is the armed state of one injection point.
+type point struct {
+	tr    Trigger
+	fired int    // effect firings consumed (capped by tr.Times)
+	hits  uint64 // total Fire/CorruptBytes arrivals, armed or passing
+}
+
+// Registry holds the armed injection points. The zero value and nil are
+// ready to use (and inert); share one registry per subsystem instance.
+type Registry struct {
+	armed atomic.Int32 // number of armed points; 0 short-circuits Fire
+	mu    sync.Mutex
+	pts   map[string]*point
+}
+
+// New returns an empty registry.
+func New() *Registry { return &Registry{} }
+
+// Arm installs tr on the named point, replacing any previous trigger
+// and resetting its fired count (hit counts persist).
+func (r *Registry) Arm(name string, tr Trigger) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.pts == nil {
+		r.pts = make(map[string]*point)
+	}
+	if p, ok := r.pts[name]; ok {
+		p.tr = tr
+		p.fired = 0
+		return
+	}
+	r.pts[name] = &point{tr: tr}
+	r.armed.Add(1)
+}
+
+// Disarm removes the named point's trigger; Fire on it returns to the
+// zero-cost pass-through path.
+func (r *Registry) Disarm(name string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.pts[name]; ok {
+		delete(r.pts, name)
+		r.armed.Add(-1)
+	}
+}
+
+// Reset disarms every point.
+func (r *Registry) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.armed.Add(int32(-len(r.pts)))
+	r.pts = nil
+}
+
+// Hits returns how many times the named point has fired (including
+// pass-through fires past an exhausted Times bound) since it was first
+// armed. Zero for never-armed points.
+func (r *Registry) Hits(name string) uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if p, ok := r.pts[name]; ok {
+		return p.hits
+	}
+	return 0
+}
+
+// Fire is the injection point: it returns nil instantly when the
+// registry is nil or nothing is armed, and otherwise applies the
+// point's trigger (block/delay, then panic, then error).
+func (r *Registry) Fire(name string) error {
+	if r == nil || r.armed.Load() == 0 {
+		return nil
+	}
+	return r.fire(context.Background(), name)
+}
+
+// FireCtx is Fire with a context bounding the Block/Delay timing
+// effects: if ctx ends while the trigger is blocking or delaying,
+// FireCtx returns ctx.Err() immediately.
+func (r *Registry) FireCtx(ctx context.Context, name string) error {
+	if r == nil || r.armed.Load() == 0 {
+		return nil
+	}
+	return r.fire(ctx, name)
+}
+
+func (r *Registry) fire(ctx context.Context, name string) error {
+	tr, triggered := r.consume(name)
+	if !triggered {
+		return nil
+	}
+	if tr.Block != nil {
+		select {
+		case <-tr.Block:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	if tr.Delay > 0 {
+		t := time.NewTimer(tr.Delay)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	if tr.Panic {
+		panic("faults: injected panic at " + name)
+	}
+	if tr.fails() {
+		if tr.Err != nil {
+			return tr.Err
+		}
+		return ErrInjected
+	}
+	return nil
+}
+
+// consume records a hit on the point and reports whether its trigger's
+// effect applies to this fire.
+func (r *Registry) consume(name string) (Trigger, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p, ok := r.pts[name]
+	if !ok {
+		return Trigger{}, false
+	}
+	p.hits++
+	if p.tr.Times > 0 && p.fired >= p.tr.Times {
+		return Trigger{}, false
+	}
+	p.fired++
+	return p.tr, true
+}
+
+// CorruptBytes passes b through the named point: armed with a Corrupt
+// trigger it flips one byte (deterministically, mid-payload) so parsers
+// and integrity checks downstream must notice; otherwise b is returned
+// untouched. The corruption is in place on the provided slice.
+func (r *Registry) CorruptBytes(name string, b []byte) []byte {
+	if r == nil || r.armed.Load() == 0 {
+		return b
+	}
+	tr, triggered := r.consume(name)
+	if !triggered || !tr.Corrupt || len(b) == 0 {
+		return b
+	}
+	b[len(b)/2] ^= 0x7F
+	return b
+}
+
+// Armed lists the currently armed point names, sorted, for -fault flag
+// feedback and debugging.
+func (r *Registry) Armed() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.pts))
+	for name := range r.pts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ParseSpec parses a command-line fault spec of the form
+// "point=action[:arg]" (the mosaicd -fault flag):
+//
+//	server.submit=fail:3      fail the first 3 fires with ErrInjected
+//	server.exec.begin=delay:150ms   sleep 150ms on every fire
+//	server.exec.begin=panic         panic on every fire
+//	server.result=corrupt           flip a byte of every result
+//
+// Actions: fail[:N], delay:DURATION, panic[:N], corrupt[:N]; N bounds
+// how many fires trigger (default: every fire).
+func ParseSpec(spec string) (name string, tr Trigger, err error) {
+	name, action, ok := strings.Cut(spec, "=")
+	name = strings.TrimSpace(name)
+	if !ok || name == "" {
+		return "", Trigger{}, fmt.Errorf("faults: spec %q is not point=action[:arg]", spec)
+	}
+	action, arg, hasArg := strings.Cut(action, ":")
+	times := func() (int, error) {
+		if !hasArg {
+			return 0, nil
+		}
+		n, err := strconv.Atoi(arg)
+		if err != nil || n <= 0 {
+			return 0, fmt.Errorf("faults: count %q in %q must be a positive integer", arg, spec)
+		}
+		return n, nil
+	}
+	switch strings.TrimSpace(action) {
+	case "fail":
+		tr.Fail = true
+		tr.Times, err = times()
+	case "panic":
+		tr.Panic = true
+		tr.Times, err = times()
+	case "corrupt":
+		tr.Corrupt = true
+		tr.Times, err = times()
+	case "delay":
+		if !hasArg {
+			return "", Trigger{}, fmt.Errorf("faults: delay in %q needs a duration (delay:150ms)", spec)
+		}
+		tr.Delay, err = time.ParseDuration(arg)
+		if err == nil && tr.Delay <= 0 {
+			err = fmt.Errorf("faults: delay %q in %q must be positive", arg, spec)
+		}
+	default:
+		err = fmt.Errorf("faults: unknown action %q in %q (want fail, delay, panic, or corrupt)", action, spec)
+	}
+	if err != nil {
+		return "", Trigger{}, err
+	}
+	return name, tr, nil
+}

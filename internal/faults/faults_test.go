@@ -1,0 +1,195 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDisarmedFireIsFree(t *testing.T) {
+	var nilReg *Registry
+	empty := New()
+	armedElsewhere := New()
+	armedElsewhere.Arm("other.point", Trigger{Fail: true})
+
+	// The acceptance guard: with nothing armed on the fired point, an
+	// injection point on the hot path costs zero allocations.
+	for _, tc := range []struct {
+		name string
+		reg  *Registry
+	}{
+		{"nil", nilReg},
+		{"empty", empty},
+		{"armed elsewhere", armedElsewhere},
+	} {
+		if n := testing.AllocsPerRun(1000, func() {
+			if err := tc.reg.Fire("server.submit"); err != nil {
+				t.Fatal(err)
+			}
+		}); n != 0 {
+			t.Errorf("%s registry: Fire allocates %v per run, want 0", tc.name, n)
+		}
+		if n := testing.AllocsPerRun(1000, func() {
+			tc.reg.CorruptBytes("server.result", nil)
+		}); n != 0 {
+			t.Errorf("%s registry: CorruptBytes allocates %v per run, want 0", tc.name, n)
+		}
+	}
+}
+
+func TestFailNTimes(t *testing.T) {
+	r := New()
+	sentinel := errors.New("boom")
+	r.Arm("p", Trigger{Fail: true, Err: sentinel, Times: 2})
+	for i := 0; i < 2; i++ {
+		if err := r.Fire("p"); !errors.Is(err, sentinel) {
+			t.Fatalf("fire %d: %v, want sentinel", i, err)
+		}
+	}
+	if err := r.Fire("p"); err != nil {
+		t.Fatalf("fire past Times: %v, want nil", err)
+	}
+	if got := r.Hits("p"); got != 3 {
+		t.Fatalf("hits = %d, want 3 (pass-through fires still count)", got)
+	}
+
+	r.Arm("q", Trigger{Fail: true})
+	for i := 0; i < 5; i++ {
+		if err := r.Fire("q"); !errors.Is(err, ErrInjected) {
+			t.Fatalf("unbounded fail fire %d: %v", i, err)
+		}
+	}
+	r.Disarm("q")
+	if err := r.Fire("q"); err != nil {
+		t.Fatalf("disarmed fire: %v", err)
+	}
+}
+
+func TestPanicTrigger(t *testing.T) {
+	r := New()
+	r.Arm("p", Trigger{Panic: true, Times: 1})
+	func() {
+		defer func() {
+			p := recover()
+			if p == nil || !strings.Contains(p.(string), "injected panic at p") {
+				t.Errorf("recover() = %v", p)
+			}
+		}()
+		r.Fire("p")
+	}()
+	if err := r.Fire("p"); err != nil {
+		t.Fatalf("second fire after Times=1 panic: %v", err)
+	}
+}
+
+func TestBlockReleasesOnCloseAndCtx(t *testing.T) {
+	r := New()
+	gate := make(chan struct{})
+	r.Arm("p", Trigger{Block: gate})
+
+	done := make(chan error, 1)
+	go func() { done <- r.Fire("p") }()
+	select {
+	case err := <-done:
+		t.Fatalf("blocked fire returned early: %v", err)
+	case <-time.After(10 * time.Millisecond):
+	}
+	close(gate)
+	if err := <-done; err != nil {
+		t.Fatalf("released fire: %v", err)
+	}
+
+	// A canceled context unblocks with ctx.Err even while the gate holds.
+	r.Arm("q", Trigger{Block: make(chan struct{})})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := r.FireCtx(ctx, "q"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("blocked FireCtx under canceled ctx: %v", err)
+	}
+}
+
+func TestDelayHonorsContextDeadline(t *testing.T) {
+	r := New()
+	r.Arm("p", Trigger{Delay: time.Hour})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if err := r.FireCtx(ctx, "p"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("delayed FireCtx: %v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("FireCtx did not return at the deadline")
+	}
+}
+
+func TestCorruptBytes(t *testing.T) {
+	r := New()
+	payload := func() []byte { return []byte(`{"ok":true}`) }
+
+	if got := r.CorruptBytes("p", payload()); string(got) != `{"ok":true}` {
+		t.Fatalf("unarmed corrupt changed bytes: %q", got)
+	}
+	r.Arm("p", Trigger{Corrupt: true, Times: 1})
+	if got := r.CorruptBytes("p", payload()); string(got) == `{"ok":true}` {
+		t.Fatal("armed corrupt left bytes intact")
+	}
+	if got := r.CorruptBytes("p", payload()); string(got) != `{"ok":true}` {
+		t.Fatalf("corrupt past Times changed bytes: %q", got)
+	}
+	// Fire at a corrupt-only point is a pass-through.
+	r.Arm("p", Trigger{Corrupt: true})
+	if err := r.Fire("p"); err != nil {
+		t.Fatalf("Fire on corrupt-only trigger: %v", err)
+	}
+}
+
+func TestResetAndArmed(t *testing.T) {
+	r := New()
+	r.Arm("b", Trigger{Fail: true})
+	r.Arm("a", Trigger{Panic: true})
+	if got := r.Armed(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Armed() = %v", got)
+	}
+	r.Reset()
+	if got := r.Armed(); len(got) != 0 {
+		t.Fatalf("Armed() after Reset = %v", got)
+	}
+	if err := r.Fire("a"); err != nil {
+		t.Fatalf("fire after Reset: %v", err)
+	}
+	if n := testing.AllocsPerRun(1000, func() { r.Fire("a") }); n != 0 {
+		t.Errorf("post-Reset Fire allocates %v per run", n)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		spec string
+		name string
+		want Trigger
+	}{
+		{"server.submit=fail:3", "server.submit", Trigger{Fail: true, Times: 3}},
+		{"server.exec.begin=delay:150ms", "server.exec.begin", Trigger{Delay: 150 * time.Millisecond}},
+		{"p=panic", "p", Trigger{Panic: true}},
+		{"p=corrupt:1", "p", Trigger{Corrupt: true, Times: 1}},
+	}
+	for _, tc := range cases {
+		name, tr, err := ParseSpec(tc.spec)
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", tc.spec, err)
+			continue
+		}
+		if name != tc.name || tr != tc.want {
+			t.Errorf("ParseSpec(%q) = %q %+v, want %q %+v", tc.spec, name, tr, tc.name, tc.want)
+		}
+	}
+	for _, bad := range []string{
+		"", "noequals", "=fail", "p=explode", "p=fail:0", "p=fail:x", "p=delay", "p=delay:-1s",
+	} {
+		if _, _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -50,6 +51,33 @@ func NewRunner(workers int) *Runner {
 // batches, Close is final). Violating the contract panics with a
 // harness-prefixed message.
 func (r *Runner) Submit(fn func()) {
+	r.jobs <- r.enter(fn)
+}
+
+// SubmitCtx is Submit with a context governing both the hand-off and
+// the job: while every worker is busy it blocks like Submit, but if ctx
+// ends before a worker frees up the job is abandoned unrun and ctx's
+// error returned — a dead job never occupies a worker slot. Once a
+// worker picks the job up, fn receives ctx for cooperative per-job
+// cancellation; SubmitCtx itself has already returned nil by then.
+func (r *Runner) SubmitCtx(ctx context.Context, fn func(context.Context)) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	wrapped := r.enter(func() { fn(ctx) })
+	select {
+	case r.jobs <- wrapped:
+		return nil
+	case <-ctx.Done():
+		r.flight.Done()
+		return ctx.Err()
+	}
+}
+
+// enter registers one in-flight job and wraps fn with the pool's
+// panic-capture bookkeeping. The caller must hand the wrapper to a
+// worker, or call flight.Done itself when abandoning the job.
+func (r *Runner) enter(fn func()) func() {
 	r.mu.Lock()
 	if r.closed {
 		r.mu.Unlock()
@@ -57,7 +85,7 @@ func (r *Runner) Submit(fn func()) {
 	}
 	r.flight.Add(1)
 	r.mu.Unlock()
-	r.jobs <- func() {
+	return func() {
 		defer r.flight.Done()
 		defer func() {
 			if p := recover(); p != nil {

@@ -6,6 +6,7 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/config"
@@ -26,29 +27,53 @@ var update = flag.Bool("update", false, "rewrite the RunRecord golden fixtures")
 //
 //	go test ./internal/metrics -run TestRunRecordFixture -update
 func TestRunRecordFixture(t *testing.T) {
-	cfg := config.FastTest()
-	cfg.MaxWarpInstructions = 128
-	hs, err := workload.ByName("HS")
-	if err != nil {
-		t.Fatal(err)
+	type fixture struct {
+		policy core.Policy
+		slug   string
+		apps   []string
 	}
-	cons, err := workload.ByName("CONS")
-	if err != nil {
-		t.Fatal(err)
-	}
-	wl := workload.Workload{Name: "HS-CONS", Apps: []workload.Spec{hs, cons}}
-
-	policies := []struct {
+	// Two pinned workloads: the original two-app mix (fixtures predate
+	// the hot-loop overhaul — never regenerate casually) and a wider
+	// four-app mix exercising every compared policy, including the 2MB-
+	// only GPU-MMU baseline.
+	var fixtures []fixture
+	for _, p := range []struct {
 		policy core.Policy
 		slug   string
 	}{
 		{core.GPUMMU4K, "gpummu4k"},
 		{core.Mosaic, "mosaic"},
 		{core.IdealTLB, "ideal"},
+	} {
+		fixtures = append(fixtures, fixture{p.policy, p.slug, []string{"HS", "CONS"}})
 	}
-	for _, p := range policies {
-		t.Run(p.slug, func(t *testing.T) {
-			s, err := sim.New(cfg, wl, sim.Options{Policy: p.policy, Seed: 21})
+	for _, p := range []struct {
+		policy core.Policy
+		slug   string
+	}{
+		{core.GPUMMU4K, "mix4-gpummu4k"},
+		{core.GPUMMU2M, "mix4-gpummu2m"},
+		{core.Mosaic, "mix4-mosaic"},
+		{core.IdealTLB, "mix4-ideal"},
+	} {
+		fixtures = append(fixtures, fixture{p.policy, p.slug, []string{"HS", "CONS", "BFS2", "RED"}})
+	}
+
+	for _, fx := range fixtures {
+		t.Run(fx.slug, func(t *testing.T) {
+			cfg := config.FastTest()
+			cfg.MaxWarpInstructions = 128
+			specs := make([]workload.Spec, 0, len(fx.apps))
+			for _, name := range fx.apps {
+				spec, err := workload.ByName(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				specs = append(specs, spec)
+			}
+			wl := workload.Workload{Name: strings.Join(fx.apps, "-"), Apps: specs}
+
+			s, err := sim.New(cfg, wl, sim.Options{Policy: fx.policy, Seed: 21})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -63,7 +88,7 @@ func TestRunRecordFixture(t *testing.T) {
 			}
 			got = append(got, '\n')
 
-			path := filepath.Join("testdata", "runrecord-"+p.slug+".golden.json")
+			path := filepath.Join("testdata", "runrecord-"+fx.slug+".golden.json")
 			if *update {
 				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 					t.Fatal(err)
@@ -78,10 +103,10 @@ func TestRunRecordFixture(t *testing.T) {
 				t.Fatalf("reading fixture (run with -update to create): %v", err)
 			}
 			if !bytes.Equal(got, want) {
-				t.Errorf("RunRecord for %s deviates from the pre-refactor fixture %s;\n"+
+				t.Errorf("RunRecord for %s deviates from the pinned fixture %s;\n"+
 					"the simulation is no longer byte-identical. If a timing-model fix\n"+
 					"intentionally changed results, regenerate with -update and call it\n"+
-					"out in the PR.\ngot:\n%s", p.policy, path, got)
+					"out in the PR.\ngot:\n%s", fx.policy, path, got)
 			}
 		})
 	}

@@ -2,9 +2,12 @@ package server
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/config"
 	"repro/internal/core"
@@ -17,7 +20,8 @@ import (
 // setup, and the mutable lifecycle state. A job is also the cache entry
 // for its (workload, policy, digest) key — identical submissions share
 // one job, so the simulation runs once and every fetch serves the same
-// serialized bytes.
+// serialized bytes. A job that fails, times out, or is canceled is
+// evicted from the cache, so only completed runs are ever served.
 type job struct {
 	id     string
 	req    RunRequest
@@ -27,6 +31,11 @@ type job struct {
 	cfg    config.Config
 	wl     workload.Workload
 	simOpt sim.Options
+
+	// ctx bounds the job's whole life (queue wait + run) and cancel
+	// ends it early; both are set by start at acceptance time.
+	ctx    context.Context
+	cancel context.CancelFunc
 
 	mu     sync.Mutex
 	state  JobState
@@ -57,6 +66,9 @@ func ParsePolicy(name string) (core.Policy, error) {
 func (s *Server) buildJob(req RunRequest) (*job, error) {
 	if len(req.Apps) == 0 {
 		return nil, fmt.Errorf("apps required (see mosaic-sim -list for the suite)")
+	}
+	if req.TimeoutMS < 0 {
+		return nil, fmt.Errorf("timeoutMS must be non-negative")
 	}
 	specs := make([]workload.Spec, 0, len(req.Apps))
 	names := make([]string, 0, len(req.Apps))
@@ -114,6 +126,22 @@ func (s *Server) buildJob(req RunRequest) (*job, error) {
 	}, nil
 }
 
+// start arms the job's lifetime context at acceptance: the request's
+// TimeoutMS when set, otherwise the server default (0 = unbounded).
+// TimeoutMS is not part of the cache key — it bounds this job's
+// execution, not the simulation's identity.
+func (j *job) start(defaultTimeout time.Duration) {
+	timeout := defaultTimeout
+	if j.req.TimeoutMS > 0 {
+		timeout = time.Duration(j.req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > 0 {
+		j.ctx, j.cancel = context.WithTimeout(context.Background(), timeout)
+	} else {
+		j.ctx, j.cancel = context.WithCancel(context.Background())
+	}
+}
+
 // status snapshots the job for a wire response.
 func (j *job) status(cached bool) JobStatus {
 	j.mu.Lock()
@@ -129,47 +157,139 @@ func (j *job) status(cached bool) JobStatus {
 	}
 }
 
-func (j *job) setRunning() {
+// trySetRunning moves queued → running; it refuses (and reports false)
+// once the job is terminal, so a cancel that landed while the job sat
+// in the queue keeps it from ever running.
+func (j *job) trySetRunning() bool {
 	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != JobQueued {
+		return false
+	}
 	j.state = JobRunning
-	j.mu.Unlock()
+	return true
 }
 
-func (j *job) fail(msg string) {
+// finish moves the job to a terminal state exactly once; later calls
+// (e.g. a cancel racing a completion) are no-ops. It releases the job's
+// context resources and wakes done-waiters.
+func (j *job) finish(state JobState, errMsg string, result []byte) bool {
 	j.mu.Lock()
-	j.state = JobFailed
-	j.errMsg = msg
-	j.mu.Unlock()
-	close(j.done)
-}
-
-func (j *job) complete(result []byte) {
-	j.mu.Lock()
-	j.state = JobDone
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return false
+	}
+	j.state = state
+	j.errMsg = errMsg
 	j.result = result
 	j.mu.Unlock()
+	if j.cancel != nil {
+		j.cancel()
+	}
 	close(j.done)
+	return true
+}
+
+// requestCancel ends the job early. A queued job transitions to
+// canceled immediately; a running job has its context canceled and
+// transitions (with its eviction and counting) when execute observes
+// it. Reports whether requestCancel itself terminated the job — the
+// caller then owns the eviction and the canceled count.
+func (j *job) requestCancel(reason string) bool {
+	j.mu.Lock()
+	state := j.state
+	j.mu.Unlock()
+	if state.Terminal() {
+		return false
+	}
+	if state == JobQueued && j.finish(JobCanceled, reason, nil) {
+		return true
+	}
+	// Running (or it turned terminal since the peek): canceling the
+	// context is a no-op on finished jobs and aborts running ones.
+	if j.cancel != nil {
+		j.cancel()
+	}
+	return false
+}
+
+// finishAborted finalizes a job whose context ended before a worker
+// picked it up (deadline or cancel while queued): canceled jobs keep
+// the cancel reason, deadline expiries read as timeouts.
+func (s *Server) finishAborted(j *job) {
+	if errors.Is(j.ctx.Err(), context.DeadlineExceeded) {
+		if j.finish(JobFailed, "job deadline exceeded while queued", nil) {
+			s.runsFailed.Add(1)
+			s.evict(j)
+		}
+		return
+	}
+	if j.finish(JobCanceled, "canceled while queued", nil) {
+		s.runsCanceled.Add(1)
+		s.evict(j)
+	}
 }
 
 // execute runs the job's simulation on a worker and serializes its
-// report. Panics (the simulator's internal-error convention) fail the
-// job instead of killing the worker.
+// report. The simulation proper runs on a helper goroutine so the
+// worker can abandon it when the job's deadline or cancellation lands
+// first — the worker slot is released immediately; the abandoned run
+// (always finite) finishes into a discarded buffer. Panics (the
+// simulator's internal-error convention) fail the job instead of
+// killing the worker, and any non-done outcome evicts the job's cache
+// entry.
 func (s *Server) execute(j *job) {
 	s.busyWorkers.Add(1)
 	defer s.busyWorkers.Add(-1)
-	j.setRunning()
+	// A panic on the worker itself (an injection point, report
+	// serialization) fails this job only — never the pool: an
+	// unrecovered panic here would be captured by the Runner and
+	// re-raised into the dispatcher's drain Wait, taking the daemon down.
 	defer func() {
 		if p := recover(); p != nil {
-			s.runsFailed.Add(1)
-			j.fail(fmt.Sprintf("simulation panic: %v", p))
+			s.finishExecFailure(j, fmt.Errorf("worker panic: %v", p))
 		}
 	}()
-	res, err := s.runSim(j.cfg, j.wl, j.simOpt)
-	if err != nil {
-		s.runsFailed.Add(1)
-		j.fail(err.Error())
+	if !j.trySetRunning() {
+		// Canceled while queued (or racing with it): nothing to run.
 		return
 	}
+	if err := j.ctx.Err(); err != nil {
+		s.finishExecFailure(j, err)
+		return
+	}
+	if err := s.faults.FireCtx(j.ctx, PointExecBegin); err != nil {
+		s.finishExecFailure(j, err)
+		return
+	}
+
+	type outcome struct {
+		res sim.Results
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				ch <- outcome{err: fmt.Errorf("simulation panic: %v", p)}
+			}
+		}()
+		res, err := s.runSim(j.ctx, j.cfg, j.wl, j.simOpt)
+		ch <- outcome{res, err}
+	}()
+
+	var o outcome
+	select {
+	case o = <-ch:
+	case <-j.ctx.Done():
+		s.finishExecFailure(j, j.ctx.Err())
+		return
+	}
+	if o.err != nil {
+		s.finishExecFailure(j, o.err)
+		return
+	}
+
 	rep := metrics.Report{
 		SchemaVersion: metrics.SchemaVersion,
 		Generator:     s.opt.Generator,
@@ -178,15 +298,38 @@ func (s *Server) execute(j *job) {
 		Figures: []metrics.Figure{{
 			ID:    "run",
 			Title: j.policy.String() + " on " + j.wl.Name,
-			Runs:  []metrics.RunRecord{metrics.NewRunRecord(res)},
+			Runs:  []metrics.RunRecord{metrics.NewRunRecord(o.res)},
 		}},
 	}
 	var buf bytes.Buffer
 	if err := rep.WriteJSON(&buf); err != nil {
-		s.runsFailed.Add(1)
-		j.fail(err.Error())
+		s.finishExecFailure(j, err)
 		return
 	}
-	s.runsCompleted.Add(1)
-	j.complete(buf.Bytes())
+	result := s.faults.CorruptBytes(PointResult, buf.Bytes())
+	if j.finish(JobDone, "", result) {
+		s.runsCompleted.Add(1)
+	}
+}
+
+// finishExecFailure maps an execution error onto the job's terminal
+// state — context.Canceled reads as a cancellation, everything else
+// (simulation errors, panics, deadline expiry) as a failure — bumps the
+// matching counter, and evicts the poisoned cache entry.
+func (s *Server) finishExecFailure(j *job, err error) {
+	if errors.Is(err, context.Canceled) {
+		if j.finish(JobCanceled, "canceled while running", nil) {
+			s.runsCanceled.Add(1)
+			s.evict(j)
+		}
+		return
+	}
+	msg := err.Error()
+	if errors.Is(err, context.DeadlineExceeded) {
+		msg = "job deadline exceeded"
+	}
+	if j.finish(JobFailed, msg, nil) {
+		s.runsFailed.Add(1)
+		s.evict(j)
+	}
 }

@@ -32,10 +32,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"mosaicd_jobs_accepted_total", "Submissions enqueued as new jobs.", "counter", strconv.FormatUint(s.accepted.Load(), 10)},
 		{"mosaicd_jobs_rejected_total", "Submissions rejected with 429 (queue full).", "counter", strconv.FormatUint(s.rejected.Load(), 10)},
 		{"mosaicd_runs_completed_total", "Simulations finished successfully.", "counter", strconv.FormatUint(s.runsCompleted.Load(), 10)},
-		{"mosaicd_runs_failed_total", "Simulations that errored or panicked.", "counter", strconv.FormatUint(s.runsFailed.Load(), 10)},
+		{"mosaicd_runs_failed_total", "Simulations that errored, panicked, or hit their deadline.", "counter", strconv.FormatUint(s.runsFailed.Load(), 10)},
+		{"mosaicd_runs_canceled_total", "Jobs canceled by request before completing.", "counter", strconv.FormatUint(s.runsCanceled.Load(), 10)},
 		{"mosaicd_cache_hits_total", "Submissions served by an existing identical job.", "counter", strconv.FormatUint(hits, 10)},
 		{"mosaicd_cache_misses_total", "Submissions that required a new simulation.", "counter", strconv.FormatUint(misses, 10)},
 		{"mosaicd_cache_hit_rate", "Hits / (hits + misses), in [0, 1].", "gauge", formatFloat(hitRate)},
+		{"mosaicd_cache_evictions_total", "Failed/canceled jobs evicted so retries run fresh.", "counter", strconv.FormatUint(s.cacheEvictions.Load(), 10)},
 	} {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %s\n", m.name, m.help, m.name, m.typ, m.name, m.val)
 	}

@@ -10,8 +10,18 @@
 //	POST /v1/runs             submit a RunRequest → JobStatus
 //	GET  /v1/runs/{id}        job lifecycle status
 //	GET  /v1/runs/{id}/result schema-versioned Report JSON of a done job
+//	POST /v1/runs/{id}/cancel cancel a queued or running job
 //	GET  /healthz             liveness (503 while draining)
 //	GET  /metrics             text-format service counters
+//
+// Failure semantics: a simulation error, panic, per-job deadline, or
+// cancellation marks the job failed/canceled without taking a worker
+// down, and evicts the job from the result cache so an identical
+// resubmission runs fresh — the cache never serves output from a run
+// that did not complete. Every seam is instrumented with
+// internal/faults injection points (see the Point* constants) so the
+// chaos suite, and operators via mosaicd -fault, can force these paths
+// deterministically.
 package server
 
 import (
@@ -22,11 +32,28 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/config"
+	"repro/internal/faults"
 	"repro/internal/harness"
 	"repro/internal/sim"
 	"repro/internal/workload"
+)
+
+// Fault-injection points threaded through the service (package faults;
+// inert unless Options.Faults arms them).
+const (
+	// PointSubmit fires on every accepted-path submission; a failure
+	// trigger turns it into a 429, modeling queue pressure.
+	PointSubmit = "server.submit"
+	// PointExecBegin fires on a worker as a job turns running, before
+	// the simulation starts; block/delay triggers hold the worker,
+	// panic exercises the recovery path, failure fails the job.
+	PointExecBegin = "server.exec.begin"
+	// PointResult passes the serialized report through CorruptBytes
+	// just before it is stored, modeling result corruption.
+	PointResult = "server.result"
 )
 
 // Options configures a Server.
@@ -44,6 +71,14 @@ type Options struct {
 	// before its Scale/NoPaging mutations (nil = config.Eval, matching
 	// mosaic-sim's local mode).
 	BaseConfig func() config.Config
+	// DefaultTimeout bounds jobs whose request carries no TimeoutMS
+	// (0 = unbounded). The clock starts at acceptance, so queue wait
+	// counts against it.
+	DefaultTimeout time.Duration
+	// Faults is the fault-injection registry for chaos testing and
+	// mosaicd -fault; nil (the default) leaves every injection point
+	// inert at zero cost.
+	Faults *faults.Registry
 }
 
 // Server is one mosaicd instance. Create with New, expose Handler over
@@ -53,9 +88,12 @@ type Server struct {
 	mux    *http.ServeMux
 	runner *harness.Runner
 	queue  chan *job
+	faults *faults.Registry
 
-	// runSim executes one simulation; tests stub it to control timing.
-	runSim func(config.Config, workload.Workload, sim.Options) (sim.Results, error)
+	// runSim executes one simulation; tests stub it to control timing
+	// and honor ctx. The real simulator ignores ctx (a run is finite);
+	// execute still enforces deadlines by abandoning the result.
+	runSim func(context.Context, config.Config, workload.Workload, sim.Options) (sim.Results, error)
 
 	mu       sync.Mutex
 	draining bool
@@ -65,14 +103,16 @@ type Server struct {
 
 	drained chan struct{} // closed once the queue is drained and workers stopped
 
-	workers       int
-	busyWorkers   atomic.Int64
-	accepted      atomic.Uint64
-	rejected      atomic.Uint64
-	runsCompleted atomic.Uint64
-	runsFailed    atomic.Uint64
-	cacheHits     atomic.Uint64
-	cacheMisses   atomic.Uint64
+	workers        int
+	busyWorkers    atomic.Int64
+	accepted       atomic.Uint64
+	rejected       atomic.Uint64
+	runsCompleted  atomic.Uint64
+	runsFailed     atomic.Uint64
+	runsCanceled   atomic.Uint64
+	cacheHits      atomic.Uint64
+	cacheMisses    atomic.Uint64
+	cacheEvictions atomic.Uint64
 }
 
 // New starts a Server: its worker pool runs until Shutdown.
@@ -94,11 +134,12 @@ func New(opt Options) *Server {
 		mux:     http.NewServeMux(),
 		runner:  harness.NewRunner(opt.Workers),
 		queue:   make(chan *job, opt.QueueSize),
+		faults:  opt.Faults,
 		jobs:    make(map[string]*job),
 		cache:   make(map[string]*job),
 		drained: make(chan struct{}),
 		workers: opt.Workers,
-		runSim: func(cfg config.Config, wl workload.Workload, so sim.Options) (sim.Results, error) {
+		runSim: func(_ context.Context, cfg config.Config, wl workload.Workload, so sim.Options) (sim.Results, error) {
 			sm, err := sim.New(cfg, wl, so)
 			if err != nil {
 				return sim.Results{}, err
@@ -109,16 +150,21 @@ func New(opt Options) *Server {
 	s.mux.HandleFunc("POST /v1/runs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/runs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("POST /v1/runs/{id}/cancel", s.handleCancel)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 
-	// The dispatcher feeds queued jobs to the worker pool; Runner.Submit
-	// blocks while every worker is busy, which is exactly the
-	// backpressure that keeps the bounded queue meaningful.
+	// The dispatcher feeds queued jobs to the worker pool; Runner's
+	// context-aware hand-off blocks while every worker is busy — exactly
+	// the backpressure that keeps the bounded queue meaningful — but
+	// abandons a job whose deadline or cancellation lands first, so a
+	// dead job never ties up a worker slot.
 	go func() {
 		for j := range s.queue {
 			j := j
-			s.runner.Submit(func() { s.execute(j) })
+			if err := s.runner.SubmitCtx(j.ctx, func(context.Context) { s.execute(j) }); err != nil {
+				s.finishAborted(j)
+			}
 		}
 		s.runner.Wait()
 		s.runner.Close()
@@ -163,6 +209,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	if err := s.faults.Fire(PointSubmit); err != nil {
+		s.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, fmt.Sprintf("injected queue pressure: %v", err))
+		return
+	}
 
 	s.mu.Lock()
 	if s.draining {
@@ -178,6 +230,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	s.seq++
 	j.id = fmt.Sprintf("r%06d", s.seq)
+	j.start(s.opt.DefaultTimeout) // before enqueue: the dispatcher reads j.ctx
 	select {
 	case s.queue <- j:
 		s.jobs[j.id] = j
@@ -188,6 +241,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusAccepted, j.status(false))
 	default:
 		s.seq--
+		j.cancel()
 		s.mu.Unlock()
 		s.rejected.Add(1)
 		w.Header().Set("Retry-After", "1")
@@ -220,11 +274,34 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		w.Write(result)
 	case JobFailed:
 		writeError(w, http.StatusInternalServerError, errMsg)
+	case JobCanceled:
+		writeError(w, http.StatusGone, errMsg)
 	default:
 		// Not terminal yet: report the lifecycle state so pollers can
 		// distinguish "be patient" from "gone".
 		writeJSON(w, http.StatusAccepted, j.status(false))
 	}
+}
+
+// handleCancel cancels a queued or running job: its context is ended,
+// the job transitions to canceled (queued jobs immediately; running
+// jobs as soon as execute observes the context), and the cache entry is
+// evicted so a resubmission runs fresh. Canceling a terminal job is a
+// no-op that reports the terminal state.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such run")
+		return
+	}
+	if j.requestCancel("canceled by request") {
+		// requestCancel terminated the job itself (it was still queued);
+		// running jobs are counted and evicted by their executor when it
+		// observes the canceled context.
+		s.runsCanceled.Add(1)
+		s.evict(j)
+	}
+	writeJSON(w, http.StatusOK, j.status(false))
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -242,6 +319,18 @@ func (s *Server) lookup(id string) *job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.jobs[id]
+}
+
+// evict removes j from the result cache (if it is still the entry for
+// its key — a fresh retry may have replaced it), so identical
+// resubmissions build a new job instead of inheriting a failed one.
+func (s *Server) evict(j *job) {
+	s.mu.Lock()
+	if s.cache[j.key] == j {
+		delete(s.cache, j.key)
+		s.cacheEvictions.Add(1)
+	}
+	s.mu.Unlock()
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -39,9 +39,13 @@ func newStubServer(t *testing.T, opt Options) (*Server, *httptest.Server, chan s
 	s := New(opt)
 	release := make(chan struct{})
 	var execs atomic.Int32
-	s.runSim = func(cfg config.Config, wl workload.Workload, so sim.Options) (sim.Results, error) {
+	s.runSim = func(ctx context.Context, cfg config.Config, wl workload.Workload, so sim.Options) (sim.Results, error) {
 		execs.Add(1)
-		<-release
+		select {
+		case <-release:
+		case <-ctx.Done():
+			return sim.Results{}, ctx.Err()
+		}
 		return stubResults(cfg, wl, so), nil
 	}
 	ts := httptest.NewServer(s.Handler())
@@ -366,7 +370,7 @@ func TestRequestValidation(t *testing.T) {
 // result and the message preserved.
 func TestFailedRun(t *testing.T) {
 	s := New(Options{Workers: 1, QueueSize: 1, BaseConfig: config.FastTest})
-	s.runSim = func(config.Config, workload.Workload, sim.Options) (sim.Results, error) {
+	s.runSim = func(context.Context, config.Config, workload.Workload, sim.Options) (sim.Results, error) {
 		return sim.Results{}, fmt.Errorf("synthetic blow-up")
 	}
 	ts := httptest.NewServer(s.Handler())

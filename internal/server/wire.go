@@ -26,22 +26,34 @@ type RunRequest struct {
 	FragOccupancy float64 `json:",omitempty"`
 	// DeallocFraction frees part of a scratch buffer mid-run.
 	DeallocFraction float64 `json:",omitempty"`
+	// TimeoutMS bounds the job's whole life — queue wait plus run — in
+	// milliseconds; on expiry the job fails with "job deadline
+	// exceeded" and releases its worker. 0 defers to the server's
+	// default (mosaicd -job-timeout; unbounded unless set). TimeoutMS
+	// is not part of the job's cache identity.
+	TimeoutMS int64 `json:",omitempty"`
 }
 
 // JobState is one step of the job lifecycle.
 type JobState string
 
-// The lifecycle is queued → running → done | failed. States never move
-// backwards; done and failed are terminal.
+// The lifecycle is queued → running → done | failed | canceled. States
+// never move backwards; done, failed, and canceled are terminal. A
+// per-job deadline expiry reads as failed (with a "job deadline
+// exceeded" error); an explicit POST /v1/runs/{id}/cancel reads as
+// canceled.
 const (
-	JobQueued  JobState = "queued"
-	JobRunning JobState = "running"
-	JobDone    JobState = "done"
-	JobFailed  JobState = "failed"
+	JobQueued   JobState = "queued"
+	JobRunning  JobState = "running"
+	JobDone     JobState = "done"
+	JobFailed   JobState = "failed"
+	JobCanceled JobState = "canceled"
 )
 
-// Terminal reports whether the state is done or failed.
-func (s JobState) Terminal() bool { return s == JobDone || s == JobFailed }
+// Terminal reports whether the state is done, failed, or canceled.
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCanceled
+}
 
 // JobStatus is the response of POST /v1/runs and GET /v1/runs/{id}.
 type JobStatus struct {

@@ -29,6 +29,22 @@ var ErrQueueFull = errors.New("serviceclient: job queue full (HTTP 429)")
 // rejects new submissions while in-flight jobs finish.
 var ErrDraining = errors.New("serviceclient: server draining (HTTP 503)")
 
+// ErrTimeout marks a deadline expiry on the client side: the context
+// (or Wait's default deadline) ran out before the job reached a
+// terminal state. The job may still be running server-side; Cancel it
+// if the result is no longer wanted.
+var ErrTimeout = errors.New("serviceclient: deadline exceeded")
+
+// ErrCanceled marks a cancellation: either the caller's context was
+// canceled mid-call, or the job itself was canceled server-side (its
+// state reports canceled).
+var ErrCanceled = errors.New("serviceclient: canceled")
+
+// DefaultWaitTimeout bounds Wait when neither the context nor
+// Client.WaitTimeout provides a deadline, so a lost job can never hang
+// a caller forever.
+const DefaultWaitTimeout = 10 * time.Minute
+
 // Client talks to one mosaicd instance. The zero value is unusable;
 // create with New.
 type Client struct {
@@ -38,6 +54,10 @@ type Client struct {
 	HTTPClient *http.Client
 	// PollInterval spaces Wait's status polls (default 200ms).
 	PollInterval time.Duration
+	// WaitTimeout bounds Wait's polling when the caller's context has
+	// no deadline of its own (0 = DefaultWaitTimeout; negative =
+	// unbounded). A context deadline always takes precedence.
+	WaitTimeout time.Duration
 }
 
 // New returns a client for the service at baseURL.
@@ -61,7 +81,7 @@ func (c *Client) Submit(ctx context.Context, req server.RunRequest) (server.JobS
 	hreq.Header.Set("Content-Type", "application/json")
 	resp, err := c.httpClient().Do(hreq)
 	if err != nil {
-		return server.JobStatus{}, err
+		return server.JobStatus{}, translateCtxErr(ctx, err)
 	}
 	defer resp.Body.Close()
 	switch resp.StatusCode {
@@ -93,10 +113,23 @@ func (c *Client) Status(ctx context.Context, id string) (server.JobStatus, error
 	return st, nil
 }
 
-// Wait polls until the job reaches a terminal state. It returns the
-// terminal status; a failed job is reported as an error carrying the
-// job's failure message.
+// Wait polls until the job reaches a terminal state and returns the
+// terminal status. A failed job is reported as an error carrying the
+// job's failure message; a canceled job wraps ErrCanceled. Wait never
+// polls unboundedly: when ctx has no deadline, it applies
+// Client.WaitTimeout (default DefaultWaitTimeout) and reports expiry as
+// ErrTimeout — so a lost job ID or a wedged server surfaces as a typed
+// error instead of a hang.
 func (c *Client) Wait(ctx context.Context, id string) (server.JobStatus, error) {
+	if _, ok := ctx.Deadline(); !ok && c.WaitTimeout >= 0 {
+		timeout := c.WaitTimeout
+		if timeout == 0 {
+			timeout = DefaultWaitTimeout
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
 	interval := c.PollInterval
 	if interval <= 0 {
 		interval = 200 * time.Millisecond
@@ -106,19 +139,68 @@ func (c *Client) Wait(ctx context.Context, id string) (server.JobStatus, error) 
 	for {
 		st, err := c.Status(ctx, id)
 		if err != nil {
-			return st, err
+			return st, translateCtxErr(ctx, err)
 		}
-		if st.State == server.JobFailed {
+		switch {
+		case st.State == server.JobFailed:
 			return st, fmt.Errorf("serviceclient: run %s failed: %s", id, st.Error)
-		}
-		if st.State.Terminal() {
+		case st.State == server.JobCanceled:
+			return st, fmt.Errorf("serviceclient: run %s canceled: %s: %w", id, st.Error, ErrCanceled)
+		case st.State.Terminal():
 			return st, nil
 		}
 		select {
 		case <-ctx.Done():
-			return st, ctx.Err()
+			return st, typedCtxErr(ctx.Err())
 		case <-t.C:
 		}
+	}
+}
+
+// Cancel asks the service to cancel a queued or running job (POST
+// /v1/runs/{id}/cancel) and returns the job's status afterwards.
+// Canceling a terminal job is a no-op that reports its terminal state.
+func (c *Client) Cancel(ctx context.Context, id string) (server.JobStatus, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/runs/"+id+"/cancel", nil)
+	if err != nil {
+		return server.JobStatus{}, err
+	}
+	resp, err := c.httpClient().Do(hreq)
+	if err != nil {
+		return server.JobStatus{}, translateCtxErr(ctx, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return server.JobStatus{}, apiError("cancel", resp)
+	}
+	var st server.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return server.JobStatus{}, fmt.Errorf("serviceclient: parsing cancel response: %w", err)
+	}
+	return st, nil
+}
+
+// translateCtxErr maps transport errors caused by the context ending
+// (net/http wraps them in *url.Error) onto the typed sentinels, leaving
+// all other errors untouched.
+func translateCtxErr(ctx context.Context, err error) error {
+	if ctxErr := ctx.Err(); ctxErr != nil &&
+		(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		return typedCtxErr(ctxErr)
+	}
+	return err
+}
+
+// typedCtxErr converts a context's terminal error into the package's
+// typed sentinels.
+func typedCtxErr(err error) error {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return fmt.Errorf("%w: %s", ErrTimeout, err)
+	case errors.Is(err, context.Canceled):
+		return fmt.Errorf("%w: %s", ErrCanceled, err)
+	default:
+		return err
 	}
 }
 
@@ -139,8 +221,17 @@ func (c *Client) Result(ctx context.Context, id string) (metrics.Report, error) 
 
 // Run is the full round trip: submit, wait, fetch. ErrQueueFull is
 // retried with backoff until the context expires, so callers can treat
-// a busy service like a slow one.
+// a busy service like a slow one. When the request carries a TimeoutMS
+// and the caller's context has no deadline of its own, Run bounds the
+// whole trip by the job deadline plus grace — the server will fail the
+// job at TimeoutMS anyway, so waiting much longer can only ever observe
+// that failure.
 func (c *Client) Run(ctx context.Context, req server.RunRequest) (metrics.Report, error) {
+	if _, ok := ctx.Deadline(); !ok && req.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond+30*time.Second)
+		defer cancel()
+	}
 	backoff := 100 * time.Millisecond
 	var st server.JobStatus
 	for {
@@ -154,7 +245,7 @@ func (c *Client) Run(ctx context.Context, req server.RunRequest) (metrics.Report
 		}
 		select {
 		case <-ctx.Done():
-			return metrics.Report{}, fmt.Errorf("serviceclient: giving up on full queue: %w", ctx.Err())
+			return metrics.Report{}, fmt.Errorf("serviceclient: giving up on full queue: %w", typedCtxErr(ctx.Err()))
 		case <-time.After(backoff):
 		}
 		if backoff < 2*time.Second {
@@ -186,7 +277,7 @@ func (c *Client) get(ctx context.Context, path, what string) ([]byte, error) {
 	}
 	resp, err := c.httpClient().Do(hreq)
 	if err != nil {
-		return nil, err
+		return nil, translateCtxErr(ctx, err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {

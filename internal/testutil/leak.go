@@ -1,0 +1,62 @@
+// Package testutil holds cross-package test helpers. It must only be
+// imported from _test.go files.
+package testutil
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// CheckGoroutines registers a cleanup that fails the test if any
+// goroutine running this module's code survives the test's own
+// cleanups. Call it first in a test, before starting servers or
+// clients, so (LIFO cleanup order) the check runs after their
+// shutdowns. Goroutines are identified by their stacks mentioning a
+// repro/ package frame, so runtime, testing, and net/http machinery
+// never false-positives; the check polls briefly to let finishing
+// goroutines reach their exit.
+func CheckGoroutines(t *testing.T) {
+	t.Helper()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			leaked := moduleGoroutines()
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Errorf("%d goroutine(s) leaked past test cleanup:\n\n%s",
+					len(leaked), strings.Join(leaked, "\n\n"))
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	})
+}
+
+// moduleGoroutines returns the stacks of live goroutines (other than
+// the caller's) that hold a frame in this module's packages.
+func moduleGoroutines() []string {
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	for n == len(buf) {
+		buf = make([]byte, 2*len(buf))
+		n = runtime.Stack(buf, true)
+	}
+	stacks := strings.Split(string(buf[:n]), "\n\n")
+	var leaked []string
+	for _, g := range stacks[1:] { // stacks[0] is this goroutine
+		if !strings.Contains(g, "repro/internal") && !strings.Contains(g, "repro.") {
+			continue
+		}
+		// The testing framework keeps parked test goroutines (e.g. the
+		// main test loop, parallel siblings) alive by design.
+		if strings.Contains(g, "testing.(*T).Run") || strings.Contains(g, "testing.tRunner") {
+			continue
+		}
+		leaked = append(leaked, g)
+	}
+	return leaked
+}

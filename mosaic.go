@@ -286,25 +286,44 @@ type (
 	// (which drains in-flight runs).
 	Service = server.Server
 	// ServiceOptions sizes a Service: worker pool, queue bound, base
-	// configuration.
+	// configuration, default per-job deadline, and (for tests) a fault
+	// injection registry.
 	ServiceOptions = server.Options
 	// RunRequest is one simulation submission (POST /v1/runs).
 	RunRequest = server.RunRequest
 	// JobStatus reports a submitted run's lifecycle state.
 	JobStatus = server.JobStatus
-	// JobState is the lifecycle: queued → running → done | failed.
+	// JobState is the lifecycle: queued → running → done | failed |
+	// canceled.
 	JobState = server.JobState
-	// ServiceClient submits, polls, and fetches runs from a mosaicd
-	// instance.
+	// ServiceClient submits, polls, cancels, and fetches runs from a
+	// mosaicd instance.
 	ServiceClient = serviceclient.Client
 )
 
 // Job lifecycle states.
 const (
-	JobQueued  = server.JobQueued
-	JobRunning = server.JobRunning
-	JobDone    = server.JobDone
-	JobFailed  = server.JobFailed
+	JobQueued   = server.JobQueued
+	JobRunning  = server.JobRunning
+	JobDone     = server.JobDone
+	JobFailed   = server.JobFailed
+	JobCanceled = server.JobCanceled
+)
+
+// Typed service-client errors, for errors.Is against ServiceClient
+// results.
+var (
+	// ErrQueueFull marks an HTTP 429: the service's bounded job queue
+	// is full (Run retries it internally; Submit surfaces it).
+	ErrQueueFull = serviceclient.ErrQueueFull
+	// ErrDraining marks an HTTP 503: the service is shutting down.
+	ErrDraining = serviceclient.ErrDraining
+	// ErrTimeout marks a client-side deadline expiry before the job
+	// reached a terminal state.
+	ErrTimeout = serviceclient.ErrTimeout
+	// ErrCanceled marks a canceled context or a server-side job
+	// cancellation.
+	ErrCanceled = serviceclient.ErrCanceled
 )
 
 // NewService starts an in-process simulation service (the engine of
