@@ -31,7 +31,7 @@ import (
 func main() {
 	var (
 		full    = flag.Bool("full", false, "run the complete 27-application suite")
-		figs    = flag.String("fig", "all", "comma-separated figure list: 3,4,bloat,8,9,10,11,12,13,14,15,16,t2 or 'all'")
+		figs    = flag.String("fig", "all", "comma-separated figure list: 3,4,bloat,8,9,10,11,12,13,14,15,16,t2,oversub or 'all'")
 		scale   = flag.Int("scale", 0, "working-set scale divisor (0 = harness default)")
 		csvDir  = flag.String("csv", "", "also write each experiment's table as CSV into this directory")
 		chart   = flag.Bool("chart", false, "also draw each experiment as an ASCII bar chart (text format only)")
@@ -241,6 +241,21 @@ func main() {
 		collect("fig16a", func() metrics.Table { return h.Fig16a(a...).Table }, nil)
 		collect("fig16b", func() metrics.Table { return h.Fig16b(bpts...).Table }, func() []string {
 			return []string{"paper: CAC helps beyond ~90% fragmentation; CAC-BC helps at low occupancy."}
+		})
+	}
+	if sel("oversub") {
+		ratios := []float64{1.2, 2}
+		if *full {
+			ratios = []float64{1.2, 1.5, 2, 3, 4}
+		}
+		var r mosaic.OversubResult
+		collect("oversub", func() metrics.Table { r = h.Oversub(ratios...); return r.Table }, func() []string {
+			last := len(r.Ratios) - 1
+			return []string{
+				"2MB-only eviction amplifies every miss by 512 pages; Mosaic evicts coalesced frames whole but refaults at 4KB.",
+				fmt.Sprintf("measured at %gx: GPU-MMU retains %.0f%%, 2MB-only %.1f%%, Mosaic %.0f%%, ideal %.0f%%.",
+					r.Ratios[last], r.GPUMMU[last]*100, r.GPUMMU2M[last]*100, r.Mosaic[last]*100, r.Ideal[last]*100),
+			}
 		})
 	}
 	if sel("t2") {

@@ -33,6 +33,7 @@ func main() {
 		scale     = flag.Int("scale", 0, "working-set scale divisor (0 = config default)")
 		seed      = flag.Int64("seed", 42, "deterministic seed")
 		nopaging  = flag.Bool("nopaging", false, "disable demand paging (all data resident)")
+		oversub   = flag.Float64("oversub", 0, "oversubscription ratio: bound GPU memory to workingset/ratio pages (0 = unbounded)")
 		frag      = flag.Float64("frag", 0, "pre-fragmentation index [0,1] (§6.4 stress)")
 		fragOcc   = flag.Float64("frag-occupancy", 0.5, "pre-fragmented frame occupancy [0,1]")
 		dealloc   = flag.Float64("dealloc", 0, "fraction of a scratch buffer freed mid-run (exercises CAC)")
@@ -46,7 +47,7 @@ func main() {
 
 	if *list {
 		fmt.Printf("%-6s %-8s %10s %8s %8s\n", "name", "pattern", "workingset", "cpm", "diverg")
-		for _, s := range mosaic.Suite() {
+		for _, s := range append(mosaic.Suite(), mosaic.OversubSuite()...) {
 			fmt.Printf("%-6s %-8s %8dMB %8d %8d\n",
 				s.Name, s.Pattern, s.WorkingSetBytes>>20, s.ComputePerMem, s.Divergence)
 		}
@@ -77,6 +78,7 @@ func main() {
 				FragIndex:       *frag,
 				FragOccupancy:   *fragOcc,
 				DeallocFraction: *dealloc,
+				Oversub:         *oversub,
 				TimeoutMS:       timeout.Milliseconds(),
 			}
 			rep, err := client.Run(context.Background(), req)
@@ -111,6 +113,15 @@ func main() {
 		specs = append(specs, s)
 	}
 	wl := mosaic.Workload{Name: *apps, Apps: specs}
+	if *oversub < 0 {
+		fatal(fmt.Errorf("-oversub must be non-negative"))
+	}
+	if *oversub > 0 {
+		cfg.MaxResidentPages = mosaic.ResidentBudget(cfg, wl, *oversub)
+		if err := cfg.Validate(); err != nil {
+			fatal(err)
+		}
+	}
 
 	traceLimit := 0
 	if *traceOut != "" {
@@ -253,6 +264,10 @@ func appStatus(completed bool) string {
 func printCommonTail(m mosaic.ManagerStats, b mosaic.BusStats, d mosaic.DRAMStats) {
 	fmt.Printf("manager: coalesces %d  splinters %d  compactions %d  migrated %d  far-faults %d\n",
 		m.Coalesces, m.Splinters, m.Compactions, m.MigratedPages, m.FarFaults)
+	if m.Evictions > 0 || m.Refaults > 0 {
+		fmt.Printf("paging: evictions %d (%d pages)  write-backs %d  clean drops %d  refaults %d  peak resident %d\n",
+			m.Evictions, m.EvictedPages, m.WriteBacks, m.CleanDrops, m.Refaults, m.PeakResidentPages)
+	}
 	fmt.Printf("I/O bus: 4KB transfers %d  2MB transfers %d  busy %d cyc  queue delay %d cyc\n",
 		b.BaseTransfers, b.LargeTransfers, b.BusyCycles, b.TotalQueueDelay)
 	fmt.Printf("DRAM: accesses %d  row hits %.1f%%\n\n",

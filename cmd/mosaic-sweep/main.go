@@ -8,6 +8,7 @@
 //	mosaic-sweep -dim walker -values 8,16,32,64,128 -apps GUPS
 //	mosaic-sweep -dim pwc -values 0,32,64,128 -apps NW -policies gpummu
 //	mosaic-sweep -dim l2base -values 64,4096 -format json -out sweep.json
+//	mosaic-sweep -dim oversub -values 120,150,200,400 -apps SWP-S,SWP-D -policies gpummu,gpummu-2mb,mosaic
 package main
 
 import (
@@ -35,6 +36,9 @@ var dimensions = map[string]struct {
 	"warps":   {"warps per SM", func(c *mosaic.Config, v int) { c.WarpsPerSM = v }},
 	"scale":   {"working-set scale divisor", func(c *mosaic.Config, v int) { c.WorkloadScale = v }},
 	"pwc":     {"page-walk cache entries (0 = off)", func(c *mosaic.Config, v int) { c.PageWalkCacheEntries = v }},
+	// oversub needs the workload to resolve its residency budget, so its
+	// mutation happens in the run loop; the nil apply marks it.
+	"oversub": {"oversubscription ratio in percent (workload footprint vs GPU memory; 120 = 1.2x, 0 = unbounded)", nil},
 }
 
 func main() {
@@ -127,7 +131,12 @@ func main() {
 			if *nopaging {
 				cfg.IOBusEnabled = false
 			}
-			d.apply(&cfg, vals[i/len(pols)])
+			v := vals[i/len(pols)]
+			if d.apply != nil {
+				d.apply(&cfg, v)
+			} else if v > 0 { // oversub: percent ratio -> residency budget
+				cfg.MaxResidentPages = mosaic.ResidentBudget(cfg, wl, float64(v)/100)
+			}
 			cfg.ClampTLBWays()
 			res, err := mosaic.Run(cfg, wl, mosaic.SimOptions{Policy: pols[i%len(pols)], Seed: *seed})
 			cells[i] = cell{res: res, err: err}

@@ -255,6 +255,85 @@ func TestCoCoAFreeReturnsFrameToFreeList(t *testing.T) {
 	}
 }
 
+func TestCoCoADoubleFreeDetected(t *testing.T) {
+	p := newPool(t, 2)
+	c := NewCoCoA(p)
+	pa, err := c.AllocBase(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Free(pa); err != nil {
+		t.Fatal(err)
+	}
+	framesBefore := c.FreeFrameCount()
+	freesBefore := c.Stats().Frees
+	if err := c.Free(pa); !errors.Is(err, ErrDoubleFree) {
+		t.Fatalf("double free returned %v, want ErrDoubleFree", err)
+	}
+	if c.FreeFrameCount() != framesBefore {
+		t.Error("double free grew the free-frame list")
+	}
+	if c.Stats().Frees != freesBefore {
+		t.Error("double free counted as a free")
+	}
+	// The allocator still works: exactly one frame's worth of pages can
+	// be handed back out.
+	if _, err := c.AllocRegion(2); err != nil {
+		t.Fatalf("alloc after rejected double free failed: %v", err)
+	}
+}
+
+func TestCoCoAReturnFrameRejectsMisuse(t *testing.T) {
+	p := newPool(t, 2)
+	c := NewCoCoA(p)
+	pa, err := c.AllocBase(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _ := p.RefOf(pa)
+
+	// Occupied frame: rejected.
+	if err := c.ReturnFrame(ref.Frame); !errors.Is(err, ErrBadFrameReturn) {
+		t.Errorf("return of occupied frame: %v, want ErrBadFrameReturn", err)
+	}
+	// Out-of-range index: rejected.
+	if err := c.ReturnFrame(p.NumFrames()); !errors.Is(err, ErrBadFrameReturn) {
+		t.Errorf("return of out-of-range frame: %v, want ErrBadFrameReturn", err)
+	}
+	if err := c.ReturnFrame(-1); !errors.Is(err, ErrBadFrameReturn) {
+		t.Errorf("return of negative frame: %v, want ErrBadFrameReturn", err)
+	}
+
+	// Frame already on the list (never claimed): repeated return rejected.
+	before := c.FreeFrameCount()
+	other := (ref.Frame + 1) % p.NumFrames()
+	if err := c.ReturnFrame(other); !errors.Is(err, ErrBadFrameReturn) {
+		t.Errorf("return of still-listed frame: %v, want ErrBadFrameReturn", err)
+	}
+	if c.FreeFrameCount() != before {
+		t.Error("rejected returns changed the free-frame list")
+	}
+
+	// A drained frame that Free already re-listed: the CAC-style explicit
+	// return must be rejected as a repeat, not double-inserted.
+	if err := c.Free(pa); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ReturnFrame(ref.Frame); !errors.Is(err, ErrBadFrameReturn) {
+		t.Errorf("re-return after Free re-listed: %v, want ErrBadFrameReturn", err)
+	}
+	// Both frames allocatable exactly once.
+	if _, err := c.AllocRegion(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AllocRegion(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AllocRegion(1); !errors.Is(err, ErrNoFreeFrames) {
+		t.Error("a duplicated free-list entry served a third region from two frames")
+	}
+}
+
 func TestCoCoAFreedPageReusedBySameApp(t *testing.T) {
 	p := newPool(t, 1)
 	c := NewCoCoA(p)

@@ -1,10 +1,21 @@
 package alloc
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/vmem"
 )
+
+// ErrDoubleFree is returned by Free when the base page is not currently
+// allocated — a double free, which would otherwise silently double-insert
+// the slot into the free lists and corrupt allocator state.
+var ErrDoubleFree = errors.New("alloc: double free of base page")
+
+// ErrBadFrameReturn is returned by ReturnFrame when the frame is not
+// actually returnable: it still holds allocated pages, retains an owner,
+// or already sits on the free-frame list (a repeated return).
+var ErrBadFrameReturn = errors.New("alloc: invalid frame return")
 
 // Stats aggregates allocator activity.
 type Stats struct {
@@ -87,18 +98,26 @@ func (b *Baseline) Free(pa vmem.PhysAddr) error {
 type CoCoA struct {
 	pool       *Pool
 	freeFrames []int
-	freeBase   map[vmem.ASID][]PageRef
-	stats      Stats
+	// inFree tracks free-frame list membership so that a double free or a
+	// repeated ReturnFrame cannot insert the same frame twice.
+	inFree   map[int]bool
+	freeBase map[vmem.ASID][]PageRef
+	stats    Stats
 }
 
 // NewCoCoA wraps pool with the CoCoA policy. Frames already carrying
 // pre-fragmented stress data stay off the free-frame list.
 func NewCoCoA(pool *Pool) *CoCoA {
-	c := &CoCoA{pool: pool, freeBase: make(map[vmem.ASID][]PageRef)}
+	c := &CoCoA{
+		pool:     pool,
+		inFree:   make(map[int]bool),
+		freeBase: make(map[vmem.ASID][]PageRef),
+	}
 	for i := 0; i < pool.NumFrames(); i++ {
 		f := pool.Frame(i)
 		if f.Count == 0 && f.Owner == NoOwner {
 			c.freeFrames = append(c.freeFrames, i)
+			c.inFree[i] = true
 		}
 	}
 	return c
@@ -214,13 +233,19 @@ func (c *CoCoA) Free(pa vmem.PhysAddr) error {
 		return fmt.Errorf("alloc: %v outside pool", pa)
 	}
 	f := c.pool.Frame(ref.Frame)
+	if !f.Allocated(ref.Slot) {
+		return fmt.Errorf("%w: slot %+v", ErrDoubleFree, ref)
+	}
 	owner := f.Owner
 	if err := c.pool.FreeSlot(ref); err != nil {
 		return err
 	}
 	c.stats.Frees++
 	if f.Count == 0 {
-		c.freeFrames = append(c.freeFrames, ref.Frame)
+		if !c.inFree[ref.Frame] {
+			c.freeFrames = append(c.freeFrames, ref.Frame)
+			c.inFree[ref.Frame] = true
+		}
 	} else if owner != NoOwner && owner != FragOwner {
 		c.freeBase[owner] = append(c.freeBase[owner], ref)
 	}
@@ -228,9 +253,25 @@ func (c *CoCoA) Free(pa vmem.PhysAddr) error {
 }
 
 // ReturnFrame puts an emptied frame index back on the free-frame list;
-// CAC calls it after compacting a frame out of existence.
-func (c *CoCoA) ReturnFrame(fi int) {
+// CAC calls it after compacting a frame out of existence. The frame must
+// be genuinely returnable — empty, unowned, and not already on the list —
+// or ErrBadFrameReturn is reported and the list is left untouched.
+func (c *CoCoA) ReturnFrame(fi int) error {
+	if fi < 0 || fi >= c.pool.NumFrames() {
+		return fmt.Errorf("%w: frame %d out of range", ErrBadFrameReturn, fi)
+	}
+	f := c.pool.Frame(fi)
+	switch {
+	case f.Count != 0:
+		return fmt.Errorf("%w: frame %d still holds %d pages", ErrBadFrameReturn, fi, f.Count)
+	case f.Owner != NoOwner:
+		return fmt.Errorf("%w: frame %d still owned by %d", ErrBadFrameReturn, fi, f.Owner)
+	case c.inFree[fi]:
+		return fmt.Errorf("%w: frame %d already on the free list", ErrBadFrameReturn, fi)
+	}
 	c.freeFrames = append(c.freeFrames, fi)
+	c.inFree[fi] = true
+	return nil
 }
 
 // ReleaseSlots adds specific free slots to an application's
@@ -249,6 +290,7 @@ func (c *CoCoA) popFreeFrame() (int, bool) {
 	for len(c.freeFrames) > 0 {
 		fi := c.freeFrames[0]
 		c.freeFrames = c.freeFrames[1:]
+		delete(c.inFree, fi)
 		f := c.pool.Frame(fi)
 		if f.Count == 0 && f.Owner == NoOwner { // skip stale entries
 			return fi, true

@@ -1,18 +1,26 @@
 package alloc
 
 import (
+	"errors"
 	"testing"
 
 	"repro/internal/vmem"
 )
 
 // FuzzCoCoAOps drives CoCoA with an arbitrary operation tape from two
-// applications and checks that pool accounting and the soft guarantee
-// hold throughout (no scavenge path is exercised here).
+// applications and checks that pool accounting, free-frame-list
+// invariants, and the soft guarantee hold throughout (no scavenge path is
+// exercised here). Ops 4 and 5 deliberately misuse the free path — double
+// frees and bogus frame returns — which must surface as typed errors and
+// leave the free lists untouched.
 func FuzzCoCoAOps(f *testing.F) {
 	f.Add([]byte{0, 1, 2, 0, 1, 2})
 	f.Add([]byte{0, 0, 0, 0, 3, 3, 3, 3})
 	f.Add([]byte{2, 2, 2, 1, 1, 1, 0})
+	// Free/return cycles: allocate, free, double free, misuse ReturnFrame.
+	f.Add([]byte{0, 2, 4, 4, 0, 2, 4})
+	f.Add([]byte{0, 1, 5, 2, 5, 2, 5, 4})
+	f.Add([]byte{3, 3, 0, 4, 5, 0, 2, 2, 4, 5})
 
 	f.Fuzz(func(t *testing.T, tape []byte) {
 		pool, err := NewPool(0, 8)
@@ -21,11 +29,45 @@ func FuzzCoCoAOps(f *testing.F) {
 		}
 		c := NewCoCoA(pool)
 		live := map[vmem.ASID][]vmem.PhysAddr{}
+		freed := map[vmem.ASID][]vmem.PhysAddr{}
 		var regionPages uint64
+
+		checkFreeFrames := func() {
+			t.Helper()
+			// Every empty unowned frame appears on the free-frame list at
+			// most once (stale entries for since-reused frames are legal;
+			// duplicates of genuinely free frames are not).
+			seen := map[int]bool{}
+			freeListed := 0
+			for _, fi := range c.freeFrames {
+				if seen[fi] {
+					t.Fatalf("frame %d on the free-frame list twice", fi)
+				}
+				seen[fi] = true
+				if pool.Frame(fi).Count == 0 && pool.Frame(fi).Owner == NoOwner {
+					freeListed++
+				}
+			}
+			if got := c.FreeFrameCount(); got != len(c.freeFrames) {
+				t.Fatalf("FreeFrameCount = %d, list holds %d", got, len(c.freeFrames))
+			}
+			// The list can never exceed the pool, and every genuinely
+			// free frame the allocator has ever seen must be reachable:
+			// counting empty unowned frames on the list vs in the pool.
+			emptyFrames := 0
+			for fi := 0; fi < pool.NumFrames(); fi++ {
+				if pool.Frame(fi).Count == 0 && pool.Frame(fi).Owner == NoOwner {
+					emptyFrames++
+				}
+			}
+			if freeListed > emptyFrames {
+				t.Fatalf("free list claims %d empty frames, pool has %d", freeListed, emptyFrames)
+			}
+		}
 
 		for _, op := range tape {
 			asid := vmem.ASID(op%2) + 1
-			switch op % 4 {
+			switch op % 6 {
 			case 0, 1: // base alloc
 				pa, err := c.AllocBase(asid)
 				if err != nil {
@@ -42,11 +84,58 @@ func FuzzCoCoAOps(f *testing.F) {
 				if err := c.Free(pa); err != nil {
 					t.Fatalf("free of live page failed: %v", err)
 				}
+				freed[asid] = append(freed[asid], pa)
 			case 3: // whole-region alloc
 				if _, err := c.AllocRegion(asid); err == nil {
 					regionPages += vmem.BasePagesPerLarge
 				}
+			case 4: // double free of an already-freed page
+				fl := freed[asid]
+				if len(fl) == 0 {
+					continue
+				}
+				pa := fl[len(fl)-1]
+				ref, _ := pool.RefOf(pa)
+				if pool.Frame(ref.Frame).Allocated(ref.Slot) {
+					// Slot was recycled by a later alloc; no longer a
+					// double free. Drop the stale record.
+					freed[asid] = fl[:len(fl)-1]
+					continue
+				}
+				before := c.FreeFrameCount()
+				if err := c.Free(pa); !errors.Is(err, ErrDoubleFree) {
+					t.Fatalf("double free of %v returned %v, want ErrDoubleFree", pa, err)
+				}
+				if c.FreeFrameCount() != before {
+					t.Fatal("rejected double free still grew the free-frame list")
+				}
+			case 5: // bogus ReturnFrame: occupied frame, or repeated return
+				fi := int(op) % pool.NumFrames()
+				f := pool.Frame(fi)
+				returnable := f.Count == 0 && f.Owner == NoOwner && !c.inFree[fi]
+				before := c.FreeFrameCount()
+				err := c.ReturnFrame(fi)
+				if returnable {
+					if err != nil {
+						t.Fatalf("return of drained frame %d failed: %v", fi, err)
+					}
+					// A second return of the same frame must be rejected.
+					if err := c.ReturnFrame(fi); !errors.Is(err, ErrBadFrameReturn) {
+						t.Fatalf("repeated return of frame %d returned %v, want ErrBadFrameReturn", fi, err)
+					}
+					if c.FreeFrameCount() != before+1 {
+						t.Fatal("repeated return double-inserted")
+					}
+				} else {
+					if !errors.Is(err, ErrBadFrameReturn) {
+						t.Fatalf("bogus return of frame %d returned %v, want ErrBadFrameReturn", fi, err)
+					}
+					if c.FreeFrameCount() != before {
+						t.Fatal("rejected return still grew the free-frame list")
+					}
+				}
 			}
+			checkFreeFrames()
 		}
 
 		var liveCount uint64

@@ -9,7 +9,12 @@ package config
 import (
 	"errors"
 	"fmt"
+	"strings"
 )
+
+// BasePagesPerLargeFrame is the number of 4KB base pages in one 2MB large
+// frame (mirrors vmem.BasePagesPerLarge; config stays dependency-free).
+const BasePagesPerLargeFrame = 512
 
 // Config describes one simulated GPU system. The zero value is not usable;
 // start from Default and adjust.
@@ -116,6 +121,15 @@ type Config struct {
 	// IOLargeOccupancyCycles is the bus occupancy of a 2MB transfer.
 	// Default: ~175 us.
 	IOLargeOccupancyCycles uint64
+	// MaxResidentPages bounds how many 4KB base pages may be resident in
+	// GPU memory at once. 0 (the default) means unbounded: pages fault in
+	// on first touch and never leave, which is the paper's in-memory
+	// regime. A nonzero budget turns on oversubscription: faults and
+	// allocations beyond the budget evict victims to a host/CXL remote
+	// tier over the I/O bus, and evicted pages fault back in at bus
+	// latency. Must cover at least one 2MB frame (512 base pages) and
+	// requires IOBusEnabled.
+	MaxResidentPages uint64
 
 	// ---- Mosaic policy knobs ----
 
@@ -293,9 +307,18 @@ func (c Config) Validate() error {
 		return errors.New("config: DRAM bank occupancy cannot exceed access latency")
 	case c.TotalDRAMBytes == 0:
 		return errors.New("config: TotalDRAMBytes must be positive")
+	case c.IOBusEnabled && (c.IOBaseFaultCycles == 0 || c.IOLargeFaultCycles == 0):
+		return errors.New("config: I/O fault load-to-use latencies must be positive")
+	case c.IOBusEnabled && (c.IOBaseOccupancyCycles == 0 || c.IOLargeOccupancyCycles == 0):
+		return errors.New("config: I/O bus occupancies must be positive")
 	case c.IOBusEnabled && (c.IOBaseOccupancyCycles > c.IOBaseFaultCycles ||
 		c.IOLargeOccupancyCycles > c.IOLargeFaultCycles):
 		return errors.New("config: I/O bus occupancy cannot exceed load-to-use latency")
+	case c.MaxResidentPages != 0 && c.MaxResidentPages < BasePagesPerLargeFrame:
+		return fmt.Errorf("config: MaxResidentPages (%d) must cover at least one 2MB frame (%d base pages)",
+			c.MaxResidentPages, BasePagesPerLargeFrame)
+	case c.MaxResidentPages != 0 && !c.IOBusEnabled:
+		return errors.New("config: MaxResidentPages requires IOBusEnabled (the remote tier lives across the I/O bus)")
 	case c.CACOccupancyThreshold < 0 || c.CACOccupancyThreshold > 1:
 		return errors.New("config: CACOccupancyThreshold must be in [0,1]")
 	case c.WorkloadScale <= 0:
@@ -308,9 +331,24 @@ func (c Config) Validate() error {
 
 // WithoutDemandPaging returns a copy with the I/O bus disabled (every page
 // resident up front), used by the "no demand paging overhead" experiments.
+// A residency bound is meaningless without the bus, so it is cleared too.
 func (c Config) WithoutDemandPaging() Config {
 	c.IOBusEnabled = false
+	c.MaxResidentPages = 0
 	return c
+}
+
+// DigestString renders the configuration for hashing into result digests.
+// It is the %+v form of the struct with zero-valued fields added after the
+// digest scheme shipped stripped out, so that configurations which do not
+// use a newer knob keep the digest they had before the knob existed.
+// Fields listed here must never be repurposed.
+func (c Config) DigestString() string {
+	s := fmt.Sprintf("%+v", c)
+	if c.MaxResidentPages == 0 {
+		s = strings.Replace(s, " MaxResidentPages:0", "", 1)
+	}
+	return s
 }
 
 // ClampTLBWays shrinks TLB associativities that no longer fit their

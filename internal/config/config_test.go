@@ -1,6 +1,9 @@
 package config
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestDefaultIsValid(t *testing.T) {
 	if err := Default().Validate(); err != nil {
@@ -76,12 +79,34 @@ func TestMicrosToCycles(t *testing.T) {
 
 func TestWithoutDemandPaging(t *testing.T) {
 	c := Default()
+	c.MaxResidentPages = 4096
 	nc := c.WithoutDemandPaging()
 	if nc.IOBusEnabled {
 		t.Error("WithoutDemandPaging left IOBusEnabled true")
 	}
-	if !c.IOBusEnabled {
+	if nc.MaxResidentPages != 0 {
+		t.Error("WithoutDemandPaging left the residency bound set")
+	}
+	if !c.IOBusEnabled || c.MaxResidentPages != 4096 {
 		t.Error("WithoutDemandPaging mutated the receiver")
+	}
+	if err := nc.Validate(); err != nil {
+		t.Errorf("WithoutDemandPaging produced an invalid config: %v", err)
+	}
+}
+
+func TestDigestStringStableWithoutResidencyBound(t *testing.T) {
+	c := Default()
+	if s := c.DigestString(); strings.Contains(s, "MaxResidentPages") {
+		t.Errorf("DigestString leaks the unset residency knob: %q", s)
+	}
+	c.MaxResidentPages = 1024
+	s := c.DigestString()
+	if !strings.Contains(s, "MaxResidentPages:1024") {
+		t.Errorf("DigestString omits the set residency knob: %q", s)
+	}
+	if c2 := Default(); c.DigestString() == c2.DigestString() {
+		t.Error("bounded and unbounded configs share a digest string")
 	}
 }
 
@@ -110,6 +135,17 @@ func TestValidateRejectsBadConfigs(t *testing.T) {
 		{"negative threshold", func(c *Config) { c.CACOccupancyThreshold = -0.1 }},
 		{"zero scale", func(c *Config) { c.WorkloadScale = 0 }},
 		{"zero max cycles", func(c *Config) { c.MaxCycles = 0 }},
+		{"zero base occupancy", func(c *Config) { c.IOBaseOccupancyCycles = 0 }},
+		{"zero large occupancy", func(c *Config) { c.IOLargeOccupancyCycles = 0 }},
+		{"zero base fault latency", func(c *Config) { c.IOBaseFaultCycles = 0 }},
+		{"zero large fault latency", func(c *Config) { c.IOLargeFaultCycles = 0 }},
+		{"base occupancy > load-to-use", func(c *Config) { c.IOBaseOccupancyCycles = c.IOBaseFaultCycles + 1 }},
+		{"large occupancy > load-to-use", func(c *Config) { c.IOLargeOccupancyCycles = c.IOLargeFaultCycles + 1 }},
+		{"residency bound below one 2MB frame", func(c *Config) { c.MaxResidentPages = BasePagesPerLargeFrame - 1 }},
+		{"residency bound without I/O bus", func(c *Config) {
+			c.IOBusEnabled = false
+			c.MaxResidentPages = 4 * BasePagesPerLargeFrame
+		}},
 	}
 	for _, m := range mutations {
 		c := Default()
@@ -117,6 +153,21 @@ func TestValidateRejectsBadConfigs(t *testing.T) {
 		if err := c.Validate(); err == nil {
 			t.Errorf("%s: Validate accepted a bad config", m.name)
 		}
+	}
+
+	// Paging knobs are only policed while the bus is on: the "no demand
+	// paging overhead" configurations zero nothing else out.
+	c := Default().WithoutDemandPaging()
+	c.IOBaseOccupancyCycles = 0
+	if err := c.Validate(); err != nil {
+		t.Errorf("bus-off config rejected for dormant paging knobs: %v", err)
+	}
+
+	// A sane residency bound passes.
+	c = Default()
+	c.MaxResidentPages = 4 * BasePagesPerLargeFrame
+	if err := c.Validate(); err != nil {
+		t.Errorf("valid bounded config rejected: %v", err)
 	}
 }
 

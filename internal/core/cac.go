@@ -100,7 +100,7 @@ func (s *System) splinterAndCompact(now uint64, a *appState, asid vmem.ASID, reg
 	s.trace.Record(trace.Event{Cycle: now, Kind: trace.EvCompaction, ASID: asid, VA: regionVA})
 
 	if s.pool.Frame(frameIdx).Count == 0 {
-		s.cocoa.ReturnFrame(frameIdx)
+		s.mustReturnFrame(frameIdx)
 	}
 }
 
@@ -181,7 +181,7 @@ func (s *System) compactFragmented(now uint64) bool {
 		s.stall(last)
 	}
 	s.stats.Compactions++
-	s.cocoa.ReturnFrame(src)
+	s.mustReturnFrame(src)
 	return true
 }
 

@@ -1,0 +1,353 @@
+package core
+
+import (
+	"repro/internal/trace"
+	"repro/internal/vmem"
+)
+
+// This file implements the bounded-residency demand-paging tier: when
+// Config.MaxResidentPages caps how many 4KB base pages may live in GPU
+// memory at once, faults beyond the budget evict least-recently-used
+// victims to a host/CXL remote tier across the I/O bus. Victim
+// granularity follows the manager's fault granularity — 4KB pages for the
+// GPU-MMU baseline and Mosaic, whole 2MB frames for the 2MB-only manager
+// (and for Mosaic when the victim belongs to a coalesced region, the
+// thrash-amplification case the paper gestures at in §3.2). Dirty pages
+// write back over the bus before their frame can be reused; the bus is
+// FIFO, so a page-in issued after a write-back queues behind it and the
+// outbound data is on the host before the inbound data lands. Evicted
+// pages re-fault at bus latency.
+//
+// Residency is admission-controlled: a fault that cannot fit — even after
+// evicting every resident victim — joins a FIFO fault queue and is
+// admitted as in-flight transfers land and their pages become evictable.
+// Memory therefore never holds more than the budget; warps simply wait
+// longer when the pool is saturated, as they would behind a real GPU's
+// fault queue.
+
+// pageState is the lifecycle of one paged unit (a base page or, under
+// 2MB fault granularity, a whole large page).
+type pageState uint8
+
+const (
+	// pageRemote: data lives in the host tier; a touch far-faults.
+	pageRemote pageState = iota
+	// pageQueued: a fault is waiting for pool capacity; touches coalesce.
+	pageQueued
+	// pagePendingIn: a fault transfer is in flight; touches coalesce.
+	pagePendingIn
+	// pageResident: data is in GPU memory.
+	pageResident
+	// pagePendingOut: evicted dirty data is still draining to the host.
+	pagePendingOut
+)
+
+// pageEntry is the pager's record of one paged unit.
+type pageEntry struct {
+	asid  vmem.ASID
+	key   uint64 // faultKey: base or large page number
+	va    vmem.VirtAddr
+	state pageState
+	dirty bool
+	pages uint64 // base pages covered: 1, or 512 under FaultLarge
+	// evicted marks entries that left GPU memory at least once, so their
+	// next fault counts as a refault.
+	evicted bool
+	// freed marks entries whose virtual range was deallocated while a
+	// transfer was still in flight; the completion must not resurrect
+	// them (their budget was already released).
+	freed   bool
+	waiters []func(uint64)
+	// Intrusive LRU list links (only meaningful while resident).
+	prev, next *pageEntry
+}
+
+type pagerKey struct {
+	asid vmem.ASID
+	key  uint64
+}
+
+// pager tracks residency against the budget. It is created only when the
+// configuration bounds residency; a nil pager leaves the pre-existing
+// unbounded fault path untouched.
+type pager struct {
+	s       *System
+	budget  uint64 // MaxResidentPages, in base pages
+	used    uint64 // base pages resident or committed to pending faults
+	entries map[pagerKey]*pageEntry
+	// queued is the FIFO admission queue of faults waiting for capacity.
+	queued []*pageEntry
+	// lru is the sentinel of a doubly linked list of resident entries,
+	// most recently used at lru.next.
+	lru pageEntry
+}
+
+func newPager(s *System) *pager {
+	p := &pager{s: s, budget: s.cfg.MaxResidentPages, entries: make(map[pagerKey]*pageEntry)}
+	p.lru.next = &p.lru
+	p.lru.prev = &p.lru
+	return p
+}
+
+// ---- LRU plumbing ----
+
+func (p *pager) pushFront(e *pageEntry) {
+	e.prev = &p.lru
+	e.next = p.lru.next
+	e.prev.next = e
+	e.next.prev = e
+}
+
+func (p *pager) unlink(e *pageEntry) {
+	if e.prev == nil {
+		return
+	}
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	e.prev, e.next = nil, nil
+}
+
+func (p *pager) touch(e *pageEntry) {
+	p.unlink(e)
+	p.pushFront(e)
+}
+
+// pageDirty deterministically decides whether a page gets written while
+// resident (~half do). Keyed by identity, not history, so repeated
+// evict/refault cycles of one page behave consistently.
+func pageDirty(asid vmem.ASID, key uint64) bool {
+	h := (uint64(asid)+1)*0x9E3779B97F4A7C15 + key*0xBF58476D1CE4E5B9
+	h ^= h >> 29
+	return h&1 == 1
+}
+
+// ensureResident is the bounded-residency fault path, mirroring
+// System.EnsureResident's contract: true means already resident (done is
+// not called), false means done fires when the page lands.
+func (p *pager) ensureResident(now uint64, a *appState, asid vmem.ASID, va vmem.VirtAddr, done func(cycle uint64)) bool {
+	s := p.s
+	key := s.faultKey(va)
+	e := p.entries[pagerKey{asid, key}]
+	if e != nil {
+		switch e.state {
+		case pageResident:
+			p.touch(e)
+			return true
+		case pageQueued, pagePendingIn:
+			e.waiters = append(e.waiters, done)
+			s.stats.CoalescedFaults++
+			return false
+		}
+		// pageRemote or pagePendingOut: fall through to fault. A fault
+		// while the write-back drains is safe — the bus is FIFO, so the
+		// page-in transfer queues behind the outbound data.
+	} else {
+		e = &pageEntry{asid: asid, key: key, pages: 1}
+		if s.opt.Fault == FaultLarge {
+			e.pages = vmem.BasePagesPerLarge
+		}
+		p.entries[pagerKey{asid, key}] = e
+	}
+	e.va = va.BasePageBase()
+	if e.evicted {
+		s.stats.Refaults++
+	}
+	s.stats.FarFaults++
+	e.waiters = append(e.waiters[:0], done)
+
+	// Admission control: earlier queued faults go first, and a fault that
+	// does not fit even after evicting every resident victim waits its
+	// turn rather than overcommitting memory.
+	if len(p.queued) > 0 {
+		e.state = pageQueued
+		p.queued = append(p.queued, e)
+		return false
+	}
+	p.ensureCapacity(now, e.pages)
+	if p.used+e.pages > p.budget {
+		e.state = pageQueued
+		p.queued = append(p.queued, e)
+		return false
+	}
+	p.issue(now, e)
+	return false
+}
+
+// issue commits an admitted fault's budget and puts its transfer on the
+// bus. The caller has already verified the pages fit.
+func (p *pager) issue(now uint64, e *pageEntry) {
+	s := p.s
+	p.used += e.pages
+	if p.used > s.stats.PeakResidentPages {
+		s.stats.PeakResidentPages = p.used
+	}
+	e.state = pagePendingIn
+	size := vmem.Base
+	if s.opt.Fault == FaultLarge {
+		size = vmem.Large
+	}
+	fin := s.bus.Transfer(now, size, func(cycle uint64) {
+		waiters := e.waiters
+		e.waiters = nil
+		if !e.freed {
+			e.state = pageResident
+			e.dirty = pageDirty(e.asid, e.key)
+			if a, err := s.app(e.asid); err == nil {
+				a.resident[e.key] = true
+			}
+			p.pushFront(e)
+		}
+		// The landed page is evictable, so capacity may now exist for
+		// faults the admission queue was holding back.
+		p.admit(cycle)
+		for _, w := range waiters {
+			if w != nil {
+				w(cycle)
+			}
+		}
+	})
+	s.trace.Record(trace.Event{
+		Cycle: now, Kind: trace.EvFarFault, ASID: e.asid,
+		VA: e.va, Size: size.Bytes(), Latency: fin - now,
+	})
+}
+
+// admit drains the fault queue in FIFO order for as long as capacity can
+// be made. Every in-flight transfer eventually lands and becomes
+// evictable, so the queue always makes progress.
+func (p *pager) admit(now uint64) {
+	for len(p.queued) > 0 {
+		e := p.queued[0]
+		if e.freed {
+			// The range was deallocated while the fault waited; unblock
+			// its warps without moving any data.
+			p.queued = p.queued[1:]
+			waiters := e.waiters
+			e.waiters = nil
+			for _, w := range waiters {
+				if w != nil {
+					w(now)
+				}
+			}
+			continue
+		}
+		p.ensureCapacity(now, e.pages)
+		if p.used+e.pages > p.budget {
+			return
+		}
+		p.queued = p.queued[1:]
+		p.issue(now, e)
+	}
+}
+
+// ensureCapacity evicts least-recently-used victims until pages more base
+// pages fit in the budget, stopping early when nothing is resident.
+func (p *pager) ensureCapacity(now uint64, pages uint64) {
+	for p.used+pages > p.budget {
+		victim := p.lru.prev
+		if victim == &p.lru {
+			return // nothing resident to evict
+		}
+		p.evict(now, victim)
+	}
+}
+
+// evict pushes one LRU victim out of GPU memory. Under base-page fault
+// granularity a victim inside a coalesced Mosaic region takes its whole
+// 2MB frame with it: the frame's pages are interleaved physically, so
+// reclaiming contiguous space means evicting all of them — one large
+// write-back if any page is dirty. Residency is a tier below translation:
+// the mapping and coalesced status survive; only the data moves, and it
+// faults back page by page.
+func (p *pager) evict(now uint64, victim *pageEntry) {
+	s := p.s
+	group := []*pageEntry{victim}
+	size := vmem.Base
+	if s.opt.Fault == FaultLarge {
+		size = vmem.Large
+	} else if a, err := s.app(victim.asid); err == nil && a.table.IsCoalesced(victim.va) {
+		// Gather every resident sibling of the victim's 2MB region.
+		basePN := victim.va.LargePageBase().BasePageNumber()
+		for i := uint64(0); i < vmem.BasePagesPerLarge; i++ {
+			k := basePN + i
+			if k == victim.key {
+				continue
+			}
+			if sib := p.entries[pagerKey{victim.asid, k}]; sib != nil && sib.state == pageResident {
+				group = append(group, sib)
+			}
+		}
+		// A lone remnant of an already-evicted frame moves 4KB of data,
+		// not 2MB; only a multi-page gather earns the bulk transfer.
+		if len(group) > 1 {
+			size = vmem.Large
+		}
+	}
+
+	dirty := false
+	var a *appState
+	if app, err := s.app(victim.asid); err == nil {
+		a = app
+	}
+	for _, e := range group {
+		if e.dirty {
+			dirty = true
+		}
+		p.unlink(e)
+		p.used -= e.pages
+		s.stats.EvictedPages += e.pages
+		e.evicted = true
+		e.dirty = false
+		if a != nil {
+			delete(a.resident, e.key)
+		}
+	}
+	s.stats.Evictions++
+	if dirty {
+		// The budget frees immediately — the FIFO bus guarantees the
+		// outbound data precedes any subsequently issued page-in — but
+		// the entries stay pending-out until the link has drained them.
+		s.stats.WriteBacks++
+		for _, e := range group {
+			e.state = pagePendingOut
+		}
+		s.bus.WriteBack(now, size, func(uint64) {
+			for _, e := range group {
+				if e.state == pagePendingOut {
+					e.state = pageRemote
+				}
+			}
+		})
+	} else {
+		s.stats.CleanDrops++
+		for _, e := range group {
+			e.state = pageRemote
+		}
+	}
+}
+
+// release forgets a paged unit whose virtual range was freed. Freed pages
+// vacate the budget immediately; no write-back is owed for data the
+// application discarded. A queued fault's entry stays freed-marked in the
+// admission queue and is discharged by admit without moving data.
+func (p *pager) release(asid vmem.ASID, key uint64) {
+	e := p.entries[pagerKey{asid, key}]
+	if e == nil {
+		return
+	}
+	if e.state == pageResident || e.state == pagePendingIn {
+		p.used -= e.pages
+	}
+	e.freed = true
+	p.unlink(e)
+	delete(p.entries, pagerKey{asid, key})
+}
+
+// ResidentPages reports the base pages currently counted against the
+// residency budget (resident plus pending-in commitments).
+func (s *System) ResidentPages() uint64 {
+	if s.pager == nil {
+		return 0
+	}
+	return s.pager.used
+}

@@ -28,6 +28,20 @@ type Stats struct {
 	EmergencySplinters uint64 // emergency-list frames splintered for space
 	StallCycles        uint64 // GPU-wide stall imposed (CAC worst-case model)
 	AllocFallbacks     uint64 // allocations that needed CAC recovery
+
+	// ---- bounded residency (oversubscription) ----
+	// Populated only when Config.MaxResidentPages bounds the GPU page
+	// pool; omitted from JSON otherwise so unbounded records keep their
+	// pre-oversubscription byte form.
+
+	Evictions    uint64 `json:",omitempty"` // victim selections under residency pressure
+	EvictedPages uint64 `json:",omitempty"` // base pages pushed to the host tier
+	WriteBacks   uint64 `json:",omitempty"` // evictions that wrote dirty data back over the I/O bus
+	CleanDrops   uint64 `json:",omitempty"` // evictions of clean pages, dropped without a transfer
+	Refaults     uint64 `json:",omitempty"` // far-faults re-fetching previously evicted pages
+	// PeakResidentPages is the high-water mark of base pages resident (or
+	// committed to a pending fault) at once.
+	PeakResidentPages uint64 `json:",omitempty"`
 }
 
 // CoalesceSuccessRate returns Coalesces / CoalesceAttempts (0 when no
@@ -79,6 +93,11 @@ type System struct {
 	emergency []emergencyEntry
 	onEmerg   map[uint64]bool // regions already parked, keyed by packed id
 
+	// pager bounds GPU residency when MaxResidentPages is set; nil means
+	// unbounded (the paper's in-memory regime) and leaves the fault path
+	// untouched.
+	pager *pager
+
 	stallUntil uint64
 	stats      Stats
 	trace      *trace.Recorder
@@ -129,6 +148,11 @@ func NewSystem(cfg config.Config, opt Options, q *event.Queue, bus *iobus.Bus, m
 		s.cocoa = alloc.NewCoCoA(pool)
 	default:
 		s.baseline = alloc.NewBaseline(pool)
+	}
+	// The ideal TLB stands in for a system unconstrained by memory
+	// management, so it is exempt from the residency bound too.
+	if cfg.MaxResidentPages > 0 && cfg.IOBusEnabled && !opt.Bypass {
+		s.pager = newPager(s)
 	}
 	return s, nil
 }
@@ -443,6 +467,9 @@ func (s *System) EnsureResident(now uint64, asid vmem.ASID, va vmem.VirtAddr, do
 	if err != nil {
 		return true
 	}
+	if s.pager != nil {
+		return s.pager.ensureResident(now, a, asid, va, done)
+	}
 	key := s.faultKey(va)
 	if a.resident[key] {
 		return true
@@ -539,6 +566,9 @@ func (s *System) FreeVirtual(now uint64, asid vmem.ASID, va vmem.VirtAddr, size 
 		}
 		if s.opt.Fault == FaultBase {
 			delete(a.resident, cur.BasePageNumber())
+			if s.pager != nil {
+				s.pager.release(asid, cur.BasePageNumber())
+			}
 		}
 	}
 
@@ -546,6 +576,9 @@ func (s *System) FreeVirtual(now uint64, asid vmem.ASID, va vmem.VirtAddr, size 
 		s.handleShrunkRegion(now, a, asid, regionVA, ri.frameIdx, ri.locked)
 		if s.opt.Fault == FaultLarge && a.table.MappedInRegion(regionVA) == 0 {
 			delete(a.resident, regionVA.LargePageNumber())
+			if s.pager != nil {
+				s.pager.release(asid, regionVA.LargePageNumber())
+			}
 		}
 	}
 	return nil
@@ -558,6 +591,16 @@ func (s *System) freePhysical(pa vmem.PhysAddr) error {
 	return s.baseline.Free(pa)
 }
 
+// mustReturnFrame hands an emptied frame back to CoCoA. The callers all
+// verify the frame drained first, so a rejection means allocator state
+// corrupted — the same class of unreachable condition as page-table
+// reservation exhaustion above.
+func (s *System) mustReturnFrame(fi int) {
+	if err := s.cocoa.ReturnFrame(fi); err != nil {
+		panic("core: " + err.Error())
+	}
+}
+
 // handleShrunkRegion applies the CAC policy after deallocations inside a
 // coalesced region.
 func (s *System) handleShrunkRegion(now uint64, a *appState, asid vmem.ASID, regionVA vmem.VirtAddr, frameIdx int, locked []alloc.PageRef) {
@@ -566,7 +609,7 @@ func (s *System) handleShrunkRegion(now uint64, a *appState, asid vmem.ASID, reg
 		// Whole region gone: splinter and recycle the frame.
 		s.splinterRegion(now, a, asid, regionVA, frameIdx)
 		if s.cocoa != nil && s.pool.Frame(frameIdx).Count == 0 {
-			s.cocoa.ReturnFrame(frameIdx)
+			s.mustReturnFrame(frameIdx)
 		}
 		return
 	}

@@ -816,3 +816,71 @@ func (h *Harness) Table2(occupancies ...float64) Table2Result {
 	}
 	return res
 }
+
+// ------------------------------------------------------- Oversubscription
+
+// OversubResult compares the four managers under GPU memory
+// oversubscription: the workload's footprint is ratio times the resident
+// budget, so pages demand-page in and out over the I/O bus for the whole
+// run. Values are IPC normalized to the same manager with residency
+// unbounded, i.e. a retained fraction (1.0 = oversubscription costs
+// nothing). Eviction granularity is what separates the managers: the
+// 2MB-only manager pages half a megabyte of amplification per miss, while
+// Mosaic's coalesced frames evict whole but refault at 4KB.
+type OversubResult struct {
+	Ratios                          []float64
+	GPUMMU, GPUMMU2M, Mosaic, Ideal []float64
+	Table                           metrics.Table
+}
+
+// Oversub runs the oversubscription study on the residency-hostile sweep
+// workload at the given footprint-to-memory ratios (default 1.2x-4x).
+func (h *Harness) Oversub(ratios ...float64) OversubResult {
+	if len(ratios) == 0 {
+		ratios = []float64{1.2, 1.5, 2, 3, 4}
+	}
+	specs := workload.OversubSuite()
+	name := ""
+	for i, s := range specs {
+		if i > 0 {
+			name += "-"
+		}
+		name += s.Name
+	}
+	wl := workload.Workload{Name: name, Apps: specs}
+	policies := []core.Policy{core.GPUMMU4K, core.GPUMMU2M, core.Mosaic, core.IdealTLB}
+
+	// Slot layout: the 4 unbounded baselines first, then ratio-major cells.
+	base := make([]float64, len(policies))
+	cells := make([]float64, len(ratios)*len(policies))
+	h.forEach(len(base)+len(cells), func(i int) {
+		if i < len(base) {
+			base[i] = h.mustRun(wl, policies[i], nil, nil).TotalIPC()
+			return
+		}
+		j := i - len(base)
+		ratio := ratios[j/len(policies)]
+		p := policies[j%len(policies)]
+		mut := func(c *config.Config) {
+			c.MaxResidentPages = workload.ResidentBudget(*c, wl, ratio)
+		}
+		cells[j] = h.mustRun(wl, p, mut, nil).TotalIPC()
+	})
+
+	res := OversubResult{Ratios: ratios, Table: metrics.Table{
+		Title:   "Oversubscription: IPC retained under a bounded page pool (vs unbounded)",
+		Columns: []string{"ratio", "GPU-MMU", "GPU-MMU-2MB", "Mosaic", "Ideal-TLB"},
+	}}
+	for ri, ratio := range ratios {
+		row := make([]float64, len(policies))
+		for pi := range policies {
+			row[pi] = cells[ri*len(policies)+pi] / base[pi]
+		}
+		res.GPUMMU = append(res.GPUMMU, row[0])
+		res.GPUMMU2M = append(res.GPUMMU2M, row[1])
+		res.Mosaic = append(res.Mosaic, row[2])
+		res.Ideal = append(res.Ideal, row[3])
+		res.Table.AddRowF(metrics.FormatFloat(ratio), row...)
+	}
+	return res
+}

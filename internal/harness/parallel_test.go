@@ -83,6 +83,21 @@ func TestParallelDeterminism(t *testing.T) {
 	}
 }
 
+// TestOversubDeterminism extends the Jobs=1 vs Jobs=8 guarantee to the
+// oversubscription figure, whose runs mutate the residency budget per
+// cell and exercise the demand-paging path.
+func TestOversubDeterminism(t *testing.T) {
+	o1 := tiny(t)
+	o1.Jobs = 1
+	o8 := tiny(t)
+	o8.Jobs = 8
+	r1 := o1.Oversub(2)
+	r8 := o8.Oversub(2)
+	if !reflect.DeepEqual(r1, r8) {
+		t.Errorf("Oversub results differ between Jobs=1 and Jobs=8:\n%+v\n%+v", r1, r8)
+	}
+}
+
 // TestAloneCacheDistinguishesMutatedConfigs is the regression test for
 // the old (app, sms, paging) cache key: two mutate functions that
 // produce different configurations must get two cache entries, not

@@ -3,6 +3,8 @@
 // the bus is a single serialized resource, so concurrent faults from
 // multiple applications queue behind each other — the effect that makes
 // 2MB-granularity demand paging catastrophic in the paper (§3.2, Fig. 4).
+// Under a bounded residency budget the same link also carries write-backs
+// of dirty evicted pages to the host tier.
 //
 // Transfer latencies default to the paper's measurements on a GTX 1080:
 // 55 µs load-to-use for a 4KB page and 318 µs for a 2MB page.
@@ -23,10 +25,18 @@ type Stats struct {
 	// bus behind earlier transfers.
 	TotalQueueDelay uint64
 	MaxQueueDepth   int
+	// WriteBackBase / WriteBackLarge count eviction write-backs of dirty
+	// pages to the host tier. They are not included in BaseTransfers /
+	// LargeTransfers, which count fault-path page-in transfers only.
+	WriteBackBase  uint64 `json:",omitempty"`
+	WriteBackLarge uint64 `json:",omitempty"`
 }
 
 // TotalTransfers returns the number of page transfers of either size.
 func (s Stats) TotalTransfers() uint64 { return s.BaseTransfers + s.LargeTransfers }
+
+// TotalWriteBacks returns the number of eviction write-backs of either size.
+func (s Stats) TotalWriteBacks() uint64 { return s.WriteBackBase + s.WriteBackLarge }
 
 // Bus is the serialized system I/O link. Transfers pipeline: each
 // occupies the link for its occupancy (bandwidth-bound), while the
@@ -40,8 +50,14 @@ type Bus struct {
 	largeOcc uint64
 
 	busyUntil uint64
-	depth     int
-	stats     Stats
+	// inflight holds the completion cycles of transfers that have been
+	// issued but not yet delivered. Queue depth is derived from it at
+	// issue time rather than from event-queue callbacks, so same-cycle
+	// ordering between completions and new arrivals is well defined: a
+	// transfer completing exactly at cycle c does not count toward the
+	// depth seen by a transfer arriving at c.
+	inflight []uint64
+	stats    Stats
 }
 
 // New builds a bus wired to the simulator's event queue using the
@@ -73,34 +89,74 @@ func (b *Bus) OccupancyCycles(size vmem.PageSize) uint64 {
 	return b.baseOcc
 }
 
-// Transfer queues a page transfer of the given size starting no earlier
-// than now. done fires at the cycle the page is fully resident in GPU
-// memory (queue delay + load-to-use latency). It returns that cycle.
-func (b *Bus) Transfer(now uint64, size vmem.PageSize, done func(cycle uint64)) uint64 {
+// admit claims the link for one transfer arriving at now with the given
+// occupancy, updating queue-delay and busy accounting, and returns the
+// cycle the transfer starts moving data.
+func (b *Bus) admit(now, occ uint64) uint64 {
 	start := now
 	if b.busyUntil > start {
 		b.stats.TotalQueueDelay += b.busyUntil - start
 		start = b.busyUntil
 	}
-	occ := b.OccupancyCycles(size)
 	b.busyUntil = start + occ
 	b.stats.BusyCycles += occ
+	return start
+}
+
+// track records an in-flight transfer completing at finish for a request
+// arriving at now and updates MaxQueueDepth. Completed entries are pruned
+// in place; a transfer whose completion cycle equals now has already
+// delivered by the time the new arrival is observed.
+func (b *Bus) track(now, finish uint64) {
+	live := b.inflight[:0]
+	for _, f := range b.inflight {
+		if f > now {
+			live = append(live, f)
+		}
+	}
+	b.inflight = append(live, finish)
+	if d := len(b.inflight); d > b.stats.MaxQueueDepth {
+		b.stats.MaxQueueDepth = d
+	}
+}
+
+// Transfer queues a page transfer of the given size starting no earlier
+// than now. done fires at the cycle the page is fully resident in GPU
+// memory (queue delay + load-to-use latency). It returns that cycle.
+func (b *Bus) Transfer(now uint64, size vmem.PageSize, done func(cycle uint64)) uint64 {
+	start := b.admit(now, b.OccupancyCycles(size))
 	finish := start + b.LoadToUseCycles(size)
 	if size == vmem.Large {
 		b.stats.LargeTransfers++
 	} else {
 		b.stats.BaseTransfers++
 	}
-	b.depth++
-	if b.depth > b.stats.MaxQueueDepth {
-		b.stats.MaxQueueDepth = b.depth
+	b.track(now, finish)
+	if done != nil {
+		b.q.Schedule(finish, done)
 	}
-	b.q.Schedule(finish, func(cycle uint64) {
-		b.depth--
-		if done != nil {
-			done(cycle)
-		}
-	})
+	return finish
+}
+
+// WriteBack queues an eviction write-back of a dirty page to the host
+// tier. The link is held for the transfer's occupancy exactly as for a
+// page-in, but there is no fault-handling latency on top: done fires (and
+// the returned cycle is) when the data has left GPU memory, after which
+// the frame may be reused. Because the bus is FIFO, any page-in issued
+// after this write-back queues behind it.
+func (b *Bus) WriteBack(now uint64, size vmem.PageSize, done func(cycle uint64)) uint64 {
+	occ := b.OccupancyCycles(size)
+	start := b.admit(now, occ)
+	finish := start + occ
+	if size == vmem.Large {
+		b.stats.WriteBackLarge++
+	} else {
+		b.stats.WriteBackBase++
+	}
+	b.track(now, finish)
+	if done != nil {
+		b.q.Schedule(finish, done)
+	}
 	return finish
 }
 

@@ -189,3 +189,148 @@ func TestQueueDepthDrains(t *testing.T) {
 		t.Errorf("MaxQueueDepth = %d, want 5", b.Stats().MaxQueueDepth)
 	}
 }
+
+// TestArrivalExactlyAtBusyUntil pins the same-cycle contention boundary:
+// a transfer arriving at the cycle the link frees (now == busyUntil) must
+// start immediately and accrue zero queue delay — busyUntil is the first
+// *free* cycle, not the last busy one.
+func TestArrivalExactlyAtBusyUntil(t *testing.T) {
+	b, q := newBus()
+	cfg := config.Default()
+	occ, lat := cfg.IOBaseOccupancyCycles, cfg.IOBaseFaultCycles
+	b.Transfer(0, vmem.Base, nil)
+	if b.BusyUntil() != occ {
+		t.Fatalf("BusyUntil = %d, want %d", b.BusyUntil(), occ)
+	}
+	var doneAt uint64
+	fin := b.Transfer(occ, vmem.Base, func(c uint64) { doneAt = c })
+	drain(q)
+	s := b.Stats()
+	if s.TotalQueueDelay != 0 {
+		t.Errorf("TotalQueueDelay = %d, want 0 (arrival exactly at busyUntil queues for nothing)", s.TotalQueueDelay)
+	}
+	if fin != occ+lat || doneAt != fin {
+		t.Errorf("boundary transfer done at %d (returned %d), want %d", doneAt, fin, occ+lat)
+	}
+	if s.BusyCycles != 2*occ {
+		t.Errorf("BusyCycles = %d, want %d (back-to-back occupancies, no idle gap)", s.BusyCycles, 2*occ)
+	}
+}
+
+// TestSameCycleQueueAccounting pins the accounting when two transfers
+// queue in one cycle: the second waits one occupancy, the third waits two,
+// and MaxQueueDepth counts all three simultaneously outstanding.
+func TestSameCycleQueueAccounting(t *testing.T) {
+	b, q := newBus()
+	cfg := config.Default()
+	occ, lat := cfg.IOBaseOccupancyCycles, cfg.IOBaseFaultCycles
+	var done [3]uint64
+	for i := 0; i < 3; i++ {
+		i := i
+		b.Transfer(100, vmem.Base, func(c uint64) { done[i] = c })
+	}
+	drain(q)
+	s := b.Stats()
+	if want := occ + 2*occ; s.TotalQueueDelay != want {
+		t.Errorf("TotalQueueDelay = %d, want %d (occ + 2*occ)", s.TotalQueueDelay, want)
+	}
+	for i := uint64(0); i < 3; i++ {
+		if want := 100 + i*occ + lat; done[i] != want {
+			t.Errorf("transfer %d done at %d, want %d", i, done[i], want)
+		}
+	}
+	if s.MaxQueueDepth != 3 {
+		t.Errorf("MaxQueueDepth = %d, want 3", s.MaxQueueDepth)
+	}
+	if s.BusyCycles != 3*occ {
+		t.Errorf("BusyCycles = %d, want %d", s.BusyCycles, 3*occ)
+	}
+}
+
+// TestDepthExcludesCompletionsAtArrivalCycle is the regression test for
+// the off-by-one the event-queue-ridden depth decrement left unpinned: a
+// transfer completing exactly at cycle c has delivered its page by the
+// time an arrival at c is observed, so the two never overlap in depth.
+func TestDepthExcludesCompletionsAtArrivalCycle(t *testing.T) {
+	b, _ := newBus()
+	cfg := config.Default()
+	lat := cfg.IOBaseFaultCycles
+	fin := b.Transfer(0, vmem.Base, nil)
+	if fin != lat {
+		t.Fatalf("first transfer finishes at %d, want %d", fin, lat)
+	}
+	// Arrive exactly at the first transfer's completion cycle, without
+	// draining the event queue in between (the simulator can issue a new
+	// fault from the very event wave that delivers the old page).
+	b.Transfer(fin, vmem.Base, nil)
+	if d := b.Stats().MaxQueueDepth; d != 1 {
+		t.Errorf("MaxQueueDepth = %d, want 1 (completion at arrival cycle must not overlap)", d)
+	}
+	// One cycle earlier they genuinely overlap.
+	b2, _ := newBus()
+	b2.Transfer(0, vmem.Base, nil)
+	b2.Transfer(lat-1, vmem.Base, nil)
+	if d := b2.Stats().MaxQueueDepth; d != 2 {
+		t.Errorf("MaxQueueDepth = %d, want 2 (still in flight one cycle before completion)", d)
+	}
+}
+
+// TestWriteBackHoldsLinkWithoutFaultLatency checks the eviction path: a
+// write-back occupies the link like any transfer but completes after its
+// occupancy alone — there is no fault-handling latency on the way out.
+func TestWriteBackHoldsLinkWithoutFaultLatency(t *testing.T) {
+	b, q := newBus()
+	cfg := config.Default()
+	var doneAt uint64
+	fin := b.WriteBack(0, vmem.Base, func(c uint64) { doneAt = c })
+	drain(q)
+	if want := cfg.IOBaseOccupancyCycles; fin != want || doneAt != want {
+		t.Errorf("4KB write-back done at %d (returned %d), want %d", doneAt, fin, want)
+	}
+	s := b.Stats()
+	if s.WriteBackBase != 1 || s.WriteBackLarge != 0 {
+		t.Errorf("write-back counters = %d/%d, want 1/0", s.WriteBackBase, s.WriteBackLarge)
+	}
+	if s.BaseTransfers != 0 {
+		t.Error("write-back leaked into BaseTransfers")
+	}
+	if s.BusyCycles != cfg.IOBaseOccupancyCycles {
+		t.Errorf("BusyCycles = %d, want one occupancy", s.BusyCycles)
+	}
+
+	bl, ql := newBus()
+	finL := bl.WriteBack(0, vmem.Large, nil)
+	drain(ql)
+	if finL != cfg.IOLargeOccupancyCycles {
+		t.Errorf("2MB write-back done at %d, want %d", finL, cfg.IOLargeOccupancyCycles)
+	}
+	if bl.Stats().WriteBackLarge != 1 {
+		t.Error("large write-back not counted")
+	}
+	if bl.Stats().TotalWriteBacks() != 1 {
+		t.Errorf("TotalWriteBacks = %d, want 1", bl.Stats().TotalWriteBacks())
+	}
+}
+
+// TestWriteBackSerializesBeforePageIn pins the FIFO ordering the frame
+// lifecycle depends on: a page-in issued after a write-back queues behind
+// it, so the evicted frame's data is safely on the host before the new
+// page's data lands.
+func TestWriteBackSerializesBeforePageIn(t *testing.T) {
+	b, q := newBus()
+	cfg := config.Default()
+	occ, lat := cfg.IOBaseOccupancyCycles, cfg.IOBaseFaultCycles
+	var wbDone, inDone uint64
+	b.WriteBack(0, vmem.Base, func(c uint64) { wbDone = c })
+	b.Transfer(0, vmem.Base, func(c uint64) { inDone = c })
+	drain(q)
+	if wbDone != occ {
+		t.Errorf("write-back done at %d, want %d", wbDone, occ)
+	}
+	if want := occ + lat; inDone != want {
+		t.Errorf("page-in done at %d, want %d (queued behind the write-back)", inDone, want)
+	}
+	if b.Stats().TotalQueueDelay != occ {
+		t.Errorf("TotalQueueDelay = %d, want %d", b.Stats().TotalQueueDelay, occ)
+	}
+}

@@ -63,51 +63,102 @@ func TestRunRecordFixture(t *testing.T) {
 		t.Run(fx.slug, func(t *testing.T) {
 			cfg := config.FastTest()
 			cfg.MaxWarpInstructions = 128
-			specs := make([]workload.Spec, 0, len(fx.apps))
-			for _, name := range fx.apps {
-				spec, err := workload.ByName(name)
-				if err != nil {
-					t.Fatal(err)
-				}
-				specs = append(specs, spec)
-			}
-			wl := workload.Workload{Name: strings.Join(fx.apps, "-"), Apps: specs}
-
-			s, err := sim.New(cfg, wl, sim.Options{Policy: fx.policy, Seed: 21})
-			if err != nil {
-				t.Fatal(err)
-			}
-			res, err := s.Run()
-			if err != nil {
-				t.Fatal(err)
-			}
-			rec := NewRunRecord(res)
-			got, err := json.MarshalIndent(rec, "", "  ")
-			if err != nil {
-				t.Fatal(err)
-			}
-			got = append(got, '\n')
-
-			path := filepath.Join("testdata", "runrecord-"+fx.slug+".golden.json")
-			if *update {
-				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-					t.Fatal(err)
-				}
-				if err := os.WriteFile(path, got, 0o644); err != nil {
-					t.Fatal(err)
-				}
-				return
-			}
-			want, err := os.ReadFile(path)
-			if err != nil {
-				t.Fatalf("reading fixture (run with -update to create): %v", err)
-			}
-			if !bytes.Equal(got, want) {
-				t.Errorf("RunRecord for %s deviates from the pinned fixture %s;\n"+
-					"the simulation is no longer byte-identical. If a timing-model fix\n"+
-					"intentionally changed results, regenerate with -update and call it\n"+
-					"out in the PR.\ngot:\n%s", fx.policy, path, got)
-			}
+			runFixture(t, cfg, fx.policy, fx.slug, fx.apps)
 		})
+	}
+}
+
+// TestOversubRunRecordFixture pins the oversubscribed paging path: the
+// residency-hostile sweep workload at 1.2x and 2x oversubscription under
+// every compared policy. These fixtures freeze the eviction, write-back,
+// and refault counters (and the bus write-back counts) byte-exactly, so
+// any pager or bus change that perturbs the paging schedule shows up as a
+// diff. Regenerate intentionally with -update, as above.
+func TestOversubRunRecordFixture(t *testing.T) {
+	apps := []string{"SWP-S", "SWP-D"}
+	for _, ratio := range []struct {
+		r    float64
+		slug string
+	}{
+		{1.2, "12x"},
+		{2, "2x"},
+	} {
+		for _, p := range []struct {
+			policy core.Policy
+			slug   string
+		}{
+			{core.GPUMMU4K, "gpummu4k"},
+			{core.GPUMMU2M, "gpummu2m"},
+			{core.Mosaic, "mosaic"},
+			{core.IdealTLB, "ideal"},
+		} {
+			t.Run("oversub-"+ratio.slug+"-"+p.slug, func(t *testing.T) {
+				cfg := config.FastTest()
+				// More instructions than the mix4 fixtures: the sweeps
+				// must touch more distinct pages than the residency
+				// budget holds, or no eviction ever triggers.
+				cfg.MaxWarpInstructions = 1024
+				specs := make([]workload.Spec, 0, len(apps))
+				for _, name := range apps {
+					spec, err := workload.ByName(name)
+					if err != nil {
+						t.Fatal(err)
+					}
+					specs = append(specs, spec)
+				}
+				wl := workload.Workload{Name: strings.Join(apps, "-"), Apps: specs}
+				cfg.MaxResidentPages = workload.ResidentBudget(cfg, wl, ratio.r)
+				runFixture(t, cfg, p.policy, "oversub-"+ratio.slug+"-"+p.slug, apps)
+			})
+		}
+	}
+}
+
+func runFixture(t *testing.T, cfg config.Config, policy core.Policy, slug string, apps []string) {
+	t.Helper()
+	specs := make([]workload.Spec, 0, len(apps))
+	for _, name := range apps {
+		spec, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs = append(specs, spec)
+	}
+	wl := workload.Workload{Name: strings.Join(apps, "-"), Apps: specs}
+
+	s, err := sim.New(cfg, wl, sim.Options{Policy: policy, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRunRecord(res)
+	got, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	path := filepath.Join("testdata", "runrecord-"+slug+".golden.json")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading fixture (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("RunRecord for %s deviates from the pinned fixture %s;\n"+
+			"the simulation is no longer byte-identical. If a timing-model fix\n"+
+			"intentionally changed results, regenerate with -update and call it\n"+
+			"out in the PR.\ngot:\n%s", policy, path, got)
 	}
 }

@@ -98,6 +98,15 @@ func (s *Server) buildJob(req RunRequest) (*job, error) {
 	if req.NoPaging {
 		cfg.IOBusEnabled = false
 	}
+	if req.Oversub < 0 {
+		return nil, fmt.Errorf("oversub must be non-negative")
+	}
+	if req.Oversub > 0 {
+		// Resolved against the scaled workload here so the budget lands in
+		// the config digest — oversubscribed and unbounded runs of the same
+		// workload never share a cache entry.
+		cfg.MaxResidentPages = workload.ResidentBudget(cfg, wl, req.Oversub)
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}

@@ -26,6 +26,11 @@ type RunRequest struct {
 	FragOccupancy float64 `json:",omitempty"`
 	// DeallocFraction frees part of a scratch buffer mid-run.
 	DeallocFraction float64 `json:",omitempty"`
+	// Oversub bounds GPU memory to workingset/Oversub resident pages,
+	// forcing demand-paged eviction (same meaning as mosaic-sim -oversub:
+	// 2 means the workload's footprint is twice GPU memory). 0 leaves
+	// residency unbounded. Incompatible with NoPaging.
+	Oversub float64 `json:",omitempty"`
 	// TimeoutMS bounds the job's whole life — queue wait plus run — in
 	// milliseconds; on expiry the job fails with "job deadline
 	// exceeded" and releases its worker. 0 defers to the server's

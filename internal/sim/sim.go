@@ -231,11 +231,14 @@ func Digest(cfg config.Config, opt Options) string {
 // full configuration, the scalar simulation options, and the resolved
 // manager options (which capture MutateManager's effect). The printed
 // forms are flat and deterministic, so equal setups always collide and
-// differing setups practically never do.
+// differing setups practically never do. The config goes through
+// DigestString, which strips knobs added after the digest scheme shipped
+// when they hold their zero value — a run that does not use a new knob
+// keeps the digest it had before the knob existed.
 func configDigest(cfg config.Config, opt Options, mopt core.Options) string {
 	h := fnv.New64a()
-	fmt.Fprintf(h, "%+v|seed=%d frag=%g/%g dealloc=%g|%+v",
-		cfg, opt.Seed, opt.FragIndex, opt.FragOccupancy, opt.DeallocFraction, mopt)
+	fmt.Fprintf(h, "%s|seed=%d frag=%g/%g dealloc=%g|%+v",
+		cfg.DigestString(), opt.Seed, opt.FragIndex, opt.FragOccupancy, opt.DeallocFraction, mopt)
 	return fmt.Sprintf("%016x", h.Sum64())
 }
 

@@ -35,6 +35,12 @@ const (
 	Stencil
 	// Gather reads randomly within a hot subset of the working set.
 	Gather
+	// CyclicSweep walks the working set page by page and wraps around,
+	// endlessly re-touching pages in strict cyclic order. Under a bounded
+	// residency budget this is the LRU adversary: by the time the sweep
+	// returns to a page it is always the least recently used and already
+	// evicted, so every pass refaults the whole footprint.
+	CyclicSweep
 )
 
 // String implements fmt.Stringer.
@@ -50,6 +56,8 @@ func (p Pattern) String() string {
 		return "stencil"
 	case Gather:
 		return "gather"
+	case CyclicSweep:
+		return "sweep"
 	}
 	return "unknown"
 }
@@ -93,7 +101,7 @@ type Spec struct {
 // more pages than the TLBs cover.
 func (s Spec) TLBSensitive() bool {
 	switch s.Pattern {
-	case Strided, RandomAccess:
+	case Strided, RandomAccess, CyclicSweep:
 		return true
 	case Gather:
 		return s.HotFraction <= 0.25
@@ -136,14 +144,53 @@ func Suite() []Spec {
 	}
 }
 
-// ByName returns the spec with the given name from the suite.
+// OversubSuite returns the demand-paging stress applications used by the
+// oversubscription experiments. They live outside Suite() so the
+// heterogeneous workload draws (which permute Suite() by index) are
+// unchanged. All are residency-hostile: cyclic sweeps defeat LRU by
+// construction, at footprints that put them well past typical budgets.
+func OversubSuite() []Spec {
+	return []Spec{
+		{Name: "SWP-S", WorkingSetBytes: 48 << 20, Pattern: CyclicSweep, ComputePerMem: 4, AccessesPerWarp: 640, Divergence: 1, PageRun: 8},
+		{Name: "SWP-L", WorkingSetBytes: 160 << 20, Pattern: CyclicSweep, ComputePerMem: 2, AccessesPerWarp: 768, Divergence: 1, PageRun: 4},
+		{Name: "SWP-D", WorkingSetBytes: 96 << 20, Pattern: CyclicSweep, ComputePerMem: 3, AccessesPerWarp: 640, Divergence: 2, PageRun: 2},
+	}
+}
+
+// ByName returns the spec with the given name from the main suite or the
+// oversubscription suite.
 func ByName(name string) (Spec, error) {
 	for _, s := range Suite() {
 		if s.Name == name {
 			return s, nil
 		}
 	}
+	for _, s := range OversubSuite() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
 	return Spec{}, fmt.Errorf("workload: unknown application %q", name)
+}
+
+// ResidentBudget converts an oversubscription ratio into a residency bound
+// for wl: the workload's total scaled footprint in base pages divided by
+// ratio, floored at one 2MB frame (the minimum the config accepts). A
+// ratio of 2 means the combined working sets are twice GPU memory. Ratios
+// <= 0 mean "unbounded" and return 0, the config's disabled value.
+func ResidentBudget(cfg config.Config, wl Workload, ratio float64) uint64 {
+	if ratio <= 0 {
+		return 0
+	}
+	var pages uint64
+	for _, s := range wl.Apps {
+		pages += s.ScaledWorkingSet(cfg) / vmem.BasePageSize
+	}
+	budget := uint64(float64(pages) / ratio)
+	if budget < vmem.BasePagesPerLarge {
+		budget = vmem.BasePagesPerLarge
+	}
+	return budget
 }
 
 // ScaledWorkingSet returns the working set under cfg's scaling knob,
@@ -212,6 +259,13 @@ func (s Spec) NewStream(cfg config.Config, warpIndex, warpCount int, seed int64)
 		if slicePages > totalPages {
 			slicePages = totalPages
 		}
+	}
+	if s.Pattern == CyclicSweep {
+		// The sweep addresses pages via sliceStart directly; a byte-level
+		// slice offset on top would shift every slice by its own width,
+		// aliasing slices mod the working set and leaving half the pages
+		// untouched.
+		sliceOff = 0
 	}
 	g := &StreamGen{
 		spec:         s,
@@ -296,6 +350,15 @@ func (g *StreamGen) step(i int) uint64 {
 			return g.pos + vmem.BasePageSize
 		}
 		return g.pos
+	case CyclicSweep:
+		if i == 0 && !g.continueRun() {
+			g.pagePos++
+			if g.pagePos >= g.slicePages {
+				g.pagePos = 0
+			}
+		}
+		page := g.sliceStart + g.pagePos
+		return page*vmem.BasePageSize + g.runOff + uint64(i)*g.lineSize
 	case Gather:
 		hot := uint64(float64(g.ws) * g.spec.HotFraction)
 		hot = vmem.AlignUp(hot, g.lineSize)

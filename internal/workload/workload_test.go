@@ -233,6 +233,99 @@ func TestHeterogeneous(t *testing.T) {
 	}
 }
 
+func TestOversubSuite(t *testing.T) {
+	main := map[string]bool{}
+	for _, s := range Suite() {
+		main[s.Name] = true
+	}
+	for _, s := range OversubSuite() {
+		if main[s.Name] {
+			t.Errorf("%s collides with the main suite (would perturb Heterogeneous draws)", s.Name)
+		}
+		if s.Pattern != CyclicSweep {
+			t.Errorf("%s: oversub suite app is not a cyclic sweep", s.Name)
+		}
+		if s.AccessesPerWarp <= 0 || s.Divergence < 1 {
+			t.Errorf("%s: bad parameters %+v", s.Name, s)
+		}
+		got, err := ByName(s.Name)
+		if err != nil || got.Name != s.Name {
+			t.Errorf("ByName(%s) = %+v, %v", s.Name, got, err)
+		}
+	}
+}
+
+func TestCyclicSweepWrapsWorkingSet(t *testing.T) {
+	cfg := config.FastTest()
+	s, _ := ByName("SWP-S")
+	ws := s.ScaledWorkingSet(cfg)
+	// 64 warps give each a slice small enough that 640 accesses sweep it
+	// several times over.
+	g := s.NewStream(cfg, 0, 64, 1)
+	buf := make([]uint64, 4)
+	pages := map[uint64]int{}
+	var prev uint64
+	wrapped := false
+	for i := 0; g.Next(buf) > 0; i++ {
+		p := buf[0] >> vmem.BasePageShift
+		if buf[0] >= ws {
+			t.Fatalf("offset %d outside working set %d", buf[0], ws)
+		}
+		if i > 0 && p < prev {
+			wrapped = true
+		}
+		pages[p]++
+		prev = p
+	}
+	if !wrapped {
+		t.Error("sweep never wrapped back to the start")
+	}
+	// Strict cyclic order revisits every page of the slice evenly.
+	min, max := 1<<30, 0
+	for _, n := range pages {
+		if n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+	}
+	if max-min > s.PageRun {
+		t.Errorf("uneven sweep: page touch counts range %d..%d", min, max)
+	}
+}
+
+func TestResidentBudget(t *testing.T) {
+	cfg := config.Default()
+	wl, err := Pair("SWP-S", "SWP-D")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pages uint64
+	for _, a := range wl.Apps {
+		pages += a.ScaledWorkingSet(cfg) / vmem.BasePageSize
+	}
+	if got := ResidentBudget(cfg, wl, 2); got != pages/2 {
+		t.Errorf("ResidentBudget(2x) = %d, want %d", got, pages/2)
+	}
+	if got := ResidentBudget(cfg, wl, 0); got != 0 {
+		t.Errorf("ResidentBudget(0) = %d, want 0 (unbounded)", got)
+	}
+	if got := ResidentBudget(cfg, wl, -1); got != 0 {
+		t.Errorf("ResidentBudget(-1) = %d, want 0 (unbounded)", got)
+	}
+	// Extreme ratios floor at one large frame so the config validates.
+	if got := ResidentBudget(cfg, wl, 1e9); got != vmem.BasePagesPerLarge {
+		t.Errorf("ResidentBudget(1e9) = %d, want floor %d", got, vmem.BasePagesPerLarge)
+	}
+	// The budget must satisfy config validation when installed.
+	c := cfg
+	c.MaxResidentPages = ResidentBudget(cfg, wl, 1.2)
+	if err := c.Validate(); err != nil {
+		t.Errorf("installed budget fails validation: %v", err)
+	}
+}
+
 func TestPair(t *testing.T) {
 	w, err := Pair("HS", "CONS")
 	if err != nil {
@@ -249,7 +342,8 @@ func TestPair(t *testing.T) {
 func TestPatternStrings(t *testing.T) {
 	for p, want := range map[Pattern]string{
 		Stream: "stream", Strided: "strided", RandomAccess: "random",
-		Stencil: "stencil", Gather: "gather", Pattern(99): "unknown",
+		Stencil: "stencil", Gather: "gather", CyclicSweep: "sweep",
+		Pattern(99): "unknown",
 	} {
 		if p.String() != want {
 			t.Errorf("%d.String() = %q", p, p.String())

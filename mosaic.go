@@ -98,8 +98,21 @@ type AppSpec = workload.Spec
 // Suite returns the 27 application models of the paper's evaluation.
 func Suite() []AppSpec { return workload.Suite() }
 
-// AppByName looks up one suite application.
+// AppByName looks up one suite application (main or oversubscription
+// suite).
 func AppByName(name string) (AppSpec, error) { return workload.ByName(name) }
+
+// OversubSuite returns the demand-paging stress applications used by the
+// oversubscription experiments (cyclic sweeps that defeat LRU residency).
+func OversubSuite() []AppSpec { return workload.OversubSuite() }
+
+// ResidentBudget converts an oversubscription ratio into a
+// Config.MaxResidentPages bound for wl: total scaled footprint in base
+// pages divided by ratio (2 = working sets are twice GPU memory), floored
+// at one 2MB frame. Ratios <= 0 return 0, the unbounded value.
+func ResidentBudget(cfg Config, wl Workload, ratio float64) uint64 {
+	return workload.ResidentBudget(cfg, wl, ratio)
+}
 
 // Homogeneous builds the paper's homogeneous workloads: n copies of each
 // suite application.
@@ -199,6 +212,9 @@ type (
 	Fig16Result = harness.Fig16Result
 	// Table2Result is the bloat-vs-occupancy study of Table 2.
 	Table2Result = harness.Table2Result
+	// OversubResult is the memory-oversubscription study: IPC retained
+	// by each manager under a bounded resident page pool.
+	OversubResult = harness.OversubResult
 )
 
 // Physical allocation policies (for ablations via ManagerOptions).
