@@ -30,15 +30,17 @@ import (
 
 func main() {
 	var (
-		full    = flag.Bool("full", false, "run the complete 27-application suite")
-		figs    = flag.String("fig", "all", "comma-separated figure list: 3,4,bloat,8,9,10,11,12,13,14,15,16,t2,oversub or 'all'")
-		scale   = flag.Int("scale", 0, "working-set scale divisor (0 = harness default)")
-		csvDir  = flag.String("csv", "", "also write each experiment's table as CSV into this directory")
-		chart   = flag.Bool("chart", false, "also draw each experiment as an ASCII bar chart (text format only)")
-		verbose = flag.Bool("v", false, "print one line per simulation run")
-		jobs    = flag.Int("jobs", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = sequential); output is identical for every value")
-		format  = flag.String("format", "text", "output format: text | json | csv")
-		outPath = flag.String("out", "", "write output to this file instead of stdout")
+		full     = flag.Bool("full", false, "run the complete 27-application suite")
+		figs     = flag.String("fig", "all", "comma-separated figure list: 3,4,bloat,8,9,10,11,12,13,14,15,16,t2,oversub or 'all'")
+		scale    = flag.Int("scale", 0, "working-set scale divisor (0 = harness default)")
+		csvDir   = flag.String("csv", "", "also write each experiment's table as CSV into this directory")
+		chart    = flag.Bool("chart", false, "also draw each experiment as an ASCII bar chart (text format only)")
+		verbose  = flag.Bool("v", false, "print one line per simulation run")
+		jobs     = flag.Int("jobs", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = sequential); output is identical for every value")
+		snapWarm = flag.Uint64("snapshot-warmup", 0, "amortize the TLB sweeps (figs 14/15): run each (workload, policy) warmup prefix of this many cycles once and fork it per cell (0 = off; changes sweep digests)")
+		snapCold = flag.Bool("snapshot-cold", false, "with -snapshot-warmup: run each cell's two-phase plan cold instead of forking (the determinism/benchmark comparison arm)")
+		format   = flag.String("format", "text", "output format: text | json | csv")
+		outPath  = flag.String("out", "", "write output to this file instead of stdout")
 	)
 	flag.Parse()
 
@@ -58,6 +60,8 @@ func main() {
 		h = mosaic.NewQuickHarness(cfg)
 	}
 	h.Jobs = *jobs
+	h.SweepWarmup = *snapWarm
+	h.SweepColdstart = *snapCold
 	if *verbose {
 		h.Progress = os.Stderr
 	}

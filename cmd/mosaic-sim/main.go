@@ -37,6 +37,7 @@ func main() {
 		frag      = flag.Float64("frag", 0, "pre-fragmentation index [0,1] (§6.4 stress)")
 		fragOcc   = flag.Float64("frag-occupancy", 0.5, "pre-fragmented frame occupancy [0,1]")
 		dealloc   = flag.Float64("dealloc", 0, "fraction of a scratch buffer freed mid-run (exercises CAC)")
+		snapWarm  = flag.Uint64("snapshot-warmup", 0, "run as a two-phase plan: warm up to this cycle, quiesce, then measure (0 = single-phase; changes the config digest)")
 		traceOut  = flag.String("trace", "", "write a JSON event trace to this file (local runs only)")
 		recordOut = flag.String("record", "", "write the runs' structured records as a JSON report to this file (see docs/RESULTS_SCHEMA.md)")
 		serverURL = flag.String("server", "", "submit to this mosaicd URL instead of simulating locally (see docs/SERVICE.md)")
@@ -70,16 +71,17 @@ func main() {
 		client := mosaic.NewServiceClient(*serverURL)
 		for _, p := range policies {
 			req := mosaic.RunRequest{
-				Apps:            strings.Split(*apps, ","),
-				Policy:          p.name,
-				Seed:            *seed,
-				Scale:           *scale,
-				NoPaging:        *nopaging,
-				FragIndex:       *frag,
-				FragOccupancy:   *fragOcc,
-				DeallocFraction: *dealloc,
-				Oversub:         *oversub,
-				TimeoutMS:       timeout.Milliseconds(),
+				Apps:                 strings.Split(*apps, ","),
+				Policy:               p.name,
+				Seed:                 *seed,
+				Scale:                *scale,
+				NoPaging:             *nopaging,
+				FragIndex:            *frag,
+				FragOccupancy:        *fragOcc,
+				DeallocFraction:      *dealloc,
+				Oversub:              *oversub,
+				SnapshotWarmupCycles: *snapWarm,
+				TimeoutMS:            timeout.Milliseconds(),
 			}
 			rep, err := client.Run(context.Background(), req)
 			if err != nil {
@@ -136,6 +138,7 @@ func main() {
 			FragOccupancy:   *fragOcc,
 			DeallocFraction: *dealloc,
 			TraceLimit:      traceLimit,
+			SnapshotWarmup:  *snapWarm,
 		})
 		if err != nil {
 			fatal(err)

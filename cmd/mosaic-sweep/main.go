@@ -51,6 +51,8 @@ func main() {
 		nopaging = flag.Bool("nopaging", false, "disable demand paging")
 		listDims = flag.Bool("dims", false, "list sweepable dimensions and exit")
 		jobs     = flag.Int("jobs", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = sequential); output is identical for every value")
+		snapWarm = flag.Uint64("snapshot-warmup", 0, "amortize warmup across cells: run each policy's warmup prefix of this many cycles once, snapshot it, and fork it per swept value (TLB dimensions only; 0 = off; changes the config digests)")
+		snapCold = flag.Bool("snapshot-cold", false, "with -snapshot-warmup: run each cell's two-phase plan cold instead of forking the shared snapshot; output must be byte-identical to the forked run (the determinism comparison arm)")
 		format   = flag.String("format", "text", "output format: text | json | csv")
 		outPath  = flag.String("out", "", "write output to this file instead of stdout")
 	)
@@ -114,31 +116,107 @@ func main() {
 		vals[i] = v
 	}
 
+	// The base configuration is the shared prefix of every cell; cellCfg
+	// materializes one swept value on top of it.
+	baseCfg := mosaic.EvalConfig()
+	if *nopaging {
+		baseCfg.IOBusEnabled = false
+	}
+	cellCfg := func(v int) mosaic.Config {
+		cfg := baseCfg
+		if d.apply != nil {
+			d.apply(&cfg, v)
+		} else if v > 0 { // oversub: percent ratio -> residency budget
+			cfg.MaxResidentPages = mosaic.ResidentBudget(cfg, wl, float64(v)/100)
+		}
+		cfg.ClampTLBWays()
+		return cfg
+	}
+
+	// Snapshot-warmup mode applies only when every cell differs from the
+	// base configuration in reconfigurable (TLB) knobs alone — otherwise
+	// the cells share no warmup prefix and the flag is ignored.
+	warmup := *snapWarm
+	if warmup > 0 {
+		eligible := d.apply != nil
+		for _, v := range vals {
+			if eligible && !mosaic.CanReconfigure(baseCfg, cellCfg(v)) {
+				eligible = false
+			}
+		}
+		if !eligible {
+			fmt.Fprintf(os.Stderr, "-snapshot-warmup ignored: dimension %q changes non-TLB knobs\n", *dim)
+			warmup = 0
+		}
+	}
+
 	// Run the whole value x policy grid on a worker pool, then assemble
 	// the table in grid order so the output matches a sequential run for
 	// every -jobs value (exports included: records are built from the
-	// grid, not from completion order).
+	// grid, not from completion order). In snapshot-warmup mode a first
+	// round runs one warmup prefix per policy; the grid round then forks
+	// each cell from its policy's snapshot (or, with -snapshot-cold,
+	// re-runs the two-phase plan from scratch — byte-identical output).
 	type cell struct {
 		res mosaic.Results
 		err error
 	}
 	cells := make([]cell, len(vals)*len(pols))
 	r := mosaic.NewRunner(*jobs)
+	var snaps []*mosaic.SimSnapshot
+	if warmup > 0 && !*snapCold {
+		snaps = make([]*mosaic.SimSnapshot, len(pols))
+		warmErrs := make([]error, len(pols))
+		for pi := range pols {
+			pi := pi
+			r.Submit(func() {
+				s, err := mosaic.NewSimulator(baseCfg, wl,
+					mosaic.SimOptions{Policy: pols[pi], Seed: *seed, SnapshotWarmup: warmup})
+				if err == nil {
+					err = s.RunWarmup()
+				}
+				if err == nil {
+					snaps[pi], err = s.Snapshot()
+				}
+				warmErrs[pi] = err
+			})
+		}
+		r.Wait()
+		for _, err := range warmErrs {
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
 	for i := range cells {
 		i := i
 		r.Submit(func() {
-			cfg := mosaic.EvalConfig()
-			if *nopaging {
-				cfg.IOBusEnabled = false
-			}
 			v := vals[i/len(pols)]
-			if d.apply != nil {
-				d.apply(&cfg, v)
-			} else if v > 0 { // oversub: percent ratio -> residency budget
-				cfg.MaxResidentPages = mosaic.ResidentBudget(cfg, wl, float64(v)/100)
+			pol := pols[i%len(pols)]
+			if warmup > 0 {
+				var s *mosaic.Simulator
+				var err error
+				if snaps != nil {
+					s = snaps[i%len(pols)].Fork()
+				} else {
+					s, err = mosaic.NewSimulator(baseCfg, wl,
+						mosaic.SimOptions{Policy: pol, Seed: *seed, SnapshotWarmup: warmup})
+					if err == nil {
+						err = s.RunWarmup()
+					}
+				}
+				if err == nil {
+					err = s.Reconfigure(cellCfg(v))
+				}
+				var res mosaic.Results
+				if err == nil {
+					res, err = s.Run()
+				}
+				cells[i] = cell{res: res, err: err}
+				return
 			}
-			cfg.ClampTLBWays()
-			res, err := mosaic.Run(cfg, wl, mosaic.SimOptions{Policy: pols[i%len(pols)], Seed: *seed})
+			res, err := mosaic.Run(cellCfg(v), wl, mosaic.SimOptions{Policy: pol, Seed: *seed})
 			cells[i] = cell{res: res, err: err}
 		})
 	}

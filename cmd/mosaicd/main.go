@@ -39,6 +39,7 @@ import (
 // at their zero-overhead disarmed path.
 type faultFlags struct{ reg *faults.Registry }
 
+// String renders the armed points for flag.Value's default display.
 func (f *faultFlags) String() string {
 	if f.reg == nil {
 		return ""
@@ -46,6 +47,8 @@ func (f *faultFlags) String() string {
 	return strings.Join(f.reg.Armed(), ",")
 }
 
+// Set parses one -fault flag occurrence (flag.Value) and arms the
+// injection point it names; repeats accumulate into one registry.
 func (f *faultFlags) Set(spec string) error {
 	name, tr, err := faults.ParseSpec(spec)
 	if err != nil {

@@ -47,6 +47,15 @@ func NewBaseline(pool *Pool) *Baseline { return &Baseline{pool: pool} }
 // Pool exposes the underlying frame pool.
 func (b *Baseline) Pool() *Pool { return b.pool }
 
+// Clone returns a copy of the allocator rebound to pool, which must be a
+// Clone of the receiver's pool (the cursor and stats only make sense
+// against identical frame state). The receiver is unchanged.
+func (b *Baseline) Clone(pool *Pool) *Baseline {
+	nb := *b
+	nb.pool = pool
+	return &nb
+}
+
 // Stats returns a snapshot of the counters.
 func (b *Baseline) Stats() Stats { return b.stats }
 
@@ -125,6 +134,28 @@ func NewCoCoA(pool *Pool) *CoCoA {
 
 // Pool exposes the underlying frame pool.
 func (c *CoCoA) Pool() *Pool { return c.pool }
+
+// Clone returns a deep copy of the allocator rebound to pool, which must
+// be a Clone of the receiver's pool. The free-frame list keeps its exact
+// FIFO order and the per-application free-base-page lists keep their LIFO
+// order — popFreeFrame/AllocBase draw positionally, so order is part of
+// the deterministic allocation sequence a fork must reproduce.
+func (c *CoCoA) Clone(pool *Pool) *CoCoA {
+	nc := &CoCoA{
+		pool:       pool,
+		freeFrames: append([]int(nil), c.freeFrames...),
+		inFree:     make(map[int]bool, len(c.inFree)),
+		freeBase:   make(map[vmem.ASID][]PageRef, len(c.freeBase)),
+		stats:      c.stats,
+	}
+	for fi, ok := range c.inFree {
+		nc.inFree[fi] = ok
+	}
+	for asid, refs := range c.freeBase {
+		nc.freeBase[asid] = append([]PageRef(nil), refs...)
+	}
+	return nc
+}
 
 // Stats returns a snapshot of the counters.
 func (c *CoCoA) Stats() Stats { return c.stats }

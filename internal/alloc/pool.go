@@ -102,6 +102,15 @@ func NewPool(base vmem.PhysAddr, n int) (*Pool, error) {
 	return p, nil
 }
 
+// Clone returns a deep copy of the pool. Frame state (ownership, bitmaps,
+// counts) is duplicated, so allocations in the clone never affect the
+// receiver; forked simulators must each own a pool clone.
+func (p *Pool) Clone() *Pool {
+	np := &Pool{base: p.base, frames: make([]Frame, len(p.frames))}
+	copy(np.frames, p.frames)
+	return np
+}
+
 // NumFrames returns the number of large frames managed.
 func (p *Pool) NumFrames() int { return len(p.frames) }
 

@@ -93,6 +93,22 @@ func MustNew(name string, totalBytes, lineSize, ways int) *Cache {
 	return c
 }
 
+// Clone returns a deep copy of the cache's tag store, LRU state, and
+// stats. It requires the MSHRs to be empty (no outstanding misses): MSHR
+// entries hold completion closures bound to the source simulator and
+// cannot be transplanted. Callers snapshot only quiesced simulations, so a
+// non-empty MSHR table is a programming error and Clone panics.
+func (c *Cache) Clone() *Cache {
+	if len(c.mshr) != 0 {
+		panic(fmt.Sprintf("cache %s: Clone with %d outstanding MSHR entries", c.name, len(c.mshr)))
+	}
+	nc := *c
+	nc.lines = make([]line, len(c.lines))
+	copy(nc.lines, c.lines)
+	nc.mshr = make(map[uint64][]func(uint64))
+	return &nc
+}
+
 // LineAddr returns the line-granularity address of a.
 func (c *Cache) LineAddr(a vmem.PhysAddr) uint64 { return uint64(a) >> c.lineShift }
 

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"repro/internal/trace"
 	"repro/internal/vmem"
 )
@@ -87,6 +89,50 @@ func newPager(s *System) *pager {
 	p.lru.next = &p.lru
 	p.lru.prev = &p.lru
 	return p
+}
+
+// clone deep-copies the pager for a forked manager ns. It requires the
+// pager to be quiescent — an empty admission queue and no entries in the
+// queued/pending-in/pending-out states, since transfers in flight hold
+// waiter closures bound to the source simulator — and panics otherwise.
+// Entries are duplicated and the intrusive LRU list is rebuilt over the
+// copies in the exact recency order of the source, so the fork's next
+// eviction picks the same victim the source would have.
+func (p *pager) clone(ns *System) *pager {
+	if len(p.queued) != 0 {
+		panic(fmt.Sprintf("core: pager clone with %d queued faults", len(p.queued)))
+	}
+	np := &pager{
+		s:       ns,
+		budget:  p.budget,
+		used:    p.used,
+		entries: make(map[pagerKey]*pageEntry, len(p.entries)),
+	}
+	np.lru.next = &np.lru
+	np.lru.prev = &np.lru
+	for k, e := range p.entries {
+		switch e.state {
+		case pageQueued, pagePendingIn, pagePendingOut:
+			panic(fmt.Sprintf("core: pager clone with entry in transient state %d", e.state))
+		}
+		if len(e.waiters) != 0 {
+			panic("core: pager clone with waiters outstanding")
+		}
+		np.entries[k] = &pageEntry{
+			asid: e.asid, key: e.key, va: e.va, state: e.state,
+			dirty: e.dirty, pages: e.pages, evicted: e.evicted, freed: e.freed,
+		}
+	}
+	// Walk the source list MRU -> LRU, appending each clone at the tail so
+	// the copied list reads in the same order.
+	for e := p.lru.next; e != &p.lru; e = e.next {
+		ne := np.entries[pagerKey{e.asid, e.key}]
+		ne.prev = np.lru.prev
+		ne.next = &np.lru
+		ne.prev.next = ne
+		ne.next.prev = ne
+	}
+	return np
 }
 
 // ---- LRU plumbing ----

@@ -157,8 +157,73 @@ func NewSystem(cfg config.Config, opt Options, q *event.Queue, bus *iobus.Bus, m
 	return s, nil
 }
 
-// Options returns the configured options.
-func (s *System) Options() Options { return s.opt }
+// Clone returns a deep copy of the manager for a forked simulator, wired
+// to the fork's event queue, I/O bus, and DRAM model. It requires the
+// manager to be quiescent: no pending fault transfers (unbounded path) and
+// no queued, in-flight, or draining pager entries (bounded path), since
+// all of those hold completion closures bound to the source; Clone panics
+// otherwise. Frame pool, allocator free lists (in order), page tables
+// (with node addresses preserved), residency sets, pager LRU recency, and
+// all counters are duplicated so the fork continues bit-for-bit where the
+// source stopped. The clone starts with no trace recorder and no-op flush
+// hooks — the forked simulator must rebind both (SetTrace, SetFlushHooks)
+// before running.
+func (s *System) Clone(q *event.Queue, bus *iobus.Bus, mem *dram.DRAM) *System {
+	ns := &System{
+		cfg:             s.cfg,
+		opt:             s.opt,
+		q:               q,
+		bus:             bus,
+		mem:             mem,
+		pool:            s.pool.Clone(),
+		apps:            make(map[vmem.ASID]*appState, len(s.apps)),
+		ptNext:          s.ptNext,
+		ptEnd:           s.ptEnd,
+		coalesced:       make(map[int]bool, len(s.coalesced)),
+		onEmerg:         make(map[uint64]bool, len(s.onEmerg)),
+		emergency:       append([]emergencyEntry(nil), s.emergency...),
+		stallUntil:      s.stallUntil,
+		stats:           s.stats,
+		flushLargeEntry: func(vmem.ASID, vmem.VirtAddr) {},
+		flushBaseEntry:  func(vmem.ASID, vmem.VirtAddr) {},
+		flushAll:        func() {},
+	}
+	if s.cocoa != nil {
+		ns.cocoa = s.cocoa.Clone(ns.pool)
+	}
+	if s.baseline != nil {
+		ns.baseline = s.baseline.Clone(ns.pool)
+	}
+	for fi := range s.coalesced {
+		ns.coalesced[fi] = true
+	}
+	for k := range s.onEmerg {
+		ns.onEmerg[k] = true
+	}
+	for asid, a := range s.apps {
+		if len(a.pending) != 0 {
+			panic(fmt.Sprintf("core: Clone with %d pending fault transfers for ASID %d", len(a.pending), asid))
+		}
+		na := &appState{
+			table:         a.table.Clone(ns.allocPTNode),
+			resident:      make(map[uint64]bool, len(a.resident)),
+			pending:       make(map[uint64][]func(uint64)),
+			liveBytes:     a.liveBytes,
+			pagesPerFrame: make(map[int]int, len(a.pagesPerFrame)),
+		}
+		for k, v := range a.resident {
+			na.resident[k] = v
+		}
+		for k, v := range a.pagesPerFrame {
+			na.pagesPerFrame[k] = v
+		}
+		ns.apps[asid] = na
+	}
+	if s.pager != nil {
+		ns.pager = s.pager.clone(ns)
+	}
+	return ns
+}
 
 // Name returns the policy name.
 func (s *System) Name() string { return s.opt.Policy.String() }

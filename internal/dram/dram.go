@@ -96,6 +96,35 @@ func New(cfg config.Config, q *event.Queue) *DRAM {
 // Stats returns a snapshot of the activity counters.
 func (d *DRAM) Stats() Stats { return d.stats }
 
+// Clone returns a deep copy of the DRAM model wired to q (a forked
+// simulator's event queue). It requires the memory system to be quiescent:
+// no queued requests and no pending dispatch retries, since both hold
+// closures bound to the source simulator. Open-row state, bus-free times,
+// and stats (including the per-channel access counts) are duplicated so
+// the clone's timing picks up exactly where the source's left off. Clone
+// panics if the model is not quiescent; callers drain first.
+func (d *DRAM) Clone(q *event.Queue) *DRAM {
+	nd := &DRAM{cfg: d.cfg, q: q, channels: make([]channel, len(d.channels))}
+	for i := range d.channels {
+		ch := &d.channels[i]
+		if len(ch.queue) != 0 {
+			panic(fmt.Sprintf("dram: Clone with %d queued requests on channel %d", len(ch.queue), i))
+		}
+		nch := &nd.channels[i]
+		nch.busFree = ch.busFree
+		nch.banks = make([]bank, len(ch.banks))
+		copy(nch.banks, ch.banks)
+		for b := range ch.banks {
+			if ch.banks[b].retryQueued {
+				panic(fmt.Sprintf("dram: Clone with retry pending on channel %d bank %d", i, b))
+			}
+		}
+	}
+	nd.stats = d.stats
+	nd.stats.ChannelAccesses = append([]uint64(nil), d.stats.ChannelAccesses...)
+	return nd
+}
+
 // mixPage swizzles a page number so that strided access patterns spread
 // evenly over channels and banks, as real GDDR address hashing does.
 // The mapping is a fixed bijection-free hash: deterministic per page.

@@ -100,6 +100,14 @@ func (q *Queue) Schedule(cycle uint64, fn Func) {
 // Len returns the number of pending events.
 func (q *Queue) Len() int { return len(q.h) + len(q.due) - q.dueHead }
 
+// CloneEmpty returns a fresh queue with no pending events that continues
+// the receiver's sequence numbering. Forked simulators use it so that the
+// relative (cycle, seq) order of events scheduled after the fork matches
+// the order a cold run would have produced: both start from the same
+// sequence point, and callbacks cannot observe absolute sequence values.
+// The receiver is not modified and shares no state with the clone.
+func (q *Queue) CloneEmpty() *Queue { return &Queue{seq: q.seq} }
+
 // NextCycle returns the cycle of the earliest pending event. ok is false
 // when the queue is empty.
 func (q *Queue) NextCycle() (cycle uint64, ok bool) {

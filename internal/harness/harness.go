@@ -52,6 +52,22 @@ type Harness struct {
 	// identical for every Jobs value; swap in a fresh collector per
 	// experiment (or use CollectFigure) to group records by figure.
 	Collect *metrics.Collector
+	// SweepWarmup, when positive, turns the TLB sweeps (Fig14*/Fig15*)
+	// into two-phase plans amortized across cells: every cell of one
+	// (workload, policy) family shares a warmup prefix of this many cycles
+	// executed once under the base configuration, snapshotted at its
+	// quiesce point, and forked per cell with the cell's TLB geometry
+	// applied via sim.Reconfigure. Results are byte-identical to running
+	// each cell's two-phase plan cold (see SweepColdstart) at every Jobs
+	// value. Sweeps whose cells change non-TLB knobs ignore the setting
+	// (with a Progress warning) and run plain. Zero (the default) keeps
+	// the pre-existing single-phase sweep behavior and digests.
+	SweepWarmup uint64
+	// SweepColdstart forces SweepWarmup-mode sweeps to run each cell's
+	// two-phase plan from scratch instead of forking the shared snapshot —
+	// the comparison arm for validating fork determinism and for
+	// measuring the warmup amortization win. Ignored when SweepWarmup is 0.
+	SweepColdstart bool
 
 	progressMu sync.Mutex
 
@@ -217,6 +233,63 @@ func (h *Harness) mustRun(wl workload.Workload, policy core.Policy, mutate func(
 	r, err := h.run(wl, policy, mutate, simMut)
 	if err != nil {
 		panic(fmt.Sprintf("harness: %s/%v: %v", wl.Name, policy, err))
+	}
+	return r
+}
+
+// warmupSnapshot runs the shared warmup prefix of one (policy, workload)
+// sweep family under the base configuration and freezes it for forking.
+// Like mustRun, failures panic: the harness constructs its own plans.
+func (h *Harness) warmupSnapshot(policy core.Policy, wl workload.Workload) *sim.Snapshot {
+	s, err := sim.New(h.Cfg, wl, sim.Options{Policy: policy, Seed: h.Seed, SnapshotWarmup: h.SweepWarmup})
+	if err == nil {
+		err = s.RunWarmup()
+	}
+	var snap *sim.Snapshot
+	if err == nil {
+		snap, err = s.Snapshot()
+	}
+	if err != nil {
+		panic(fmt.Sprintf("harness: warmup %s/%v: %v", wl.Name, policy, err))
+	}
+	return snap
+}
+
+// twoPhaseRun executes one sweep cell of a SweepWarmup-mode sweep:
+// warmup under the base configuration, then the cell configuration via
+// sim.Reconfigure, then the measured remainder. With snap non-nil the
+// warmup is inherited by forking; with snap nil the whole plan runs
+// cold. Both paths produce byte-identical Results (the fork-vs-cold
+// contract of internal/sim), and both feed Collect and Progress exactly
+// like run does.
+func (h *Harness) twoPhaseRun(snap *sim.Snapshot, policy core.Policy, wl workload.Workload, cell config.Config) sim.Results {
+	var s *sim.Simulator
+	if snap != nil {
+		s = snap.Fork()
+	} else {
+		var err error
+		s, err = sim.New(h.Cfg, wl, sim.Options{Policy: policy, Seed: h.Seed, SnapshotWarmup: h.SweepWarmup})
+		if err == nil {
+			err = s.RunWarmup()
+		}
+		if err != nil {
+			panic(fmt.Sprintf("harness: cold warmup %s/%v: %v", wl.Name, policy, err))
+		}
+	}
+	if err := s.Reconfigure(cell); err != nil {
+		panic(fmt.Sprintf("harness: reconfigure %s/%v: %v", wl.Name, policy, err))
+	}
+	r, err := s.Run()
+	if err != nil {
+		panic(fmt.Sprintf("harness: %s/%v: %v", wl.Name, policy, err))
+	}
+	if h.Collect != nil {
+		h.Collect.Add(r)
+	}
+	if h.Progress != nil {
+		h.progressMu.Lock()
+		fmt.Fprintf(h.Progress, "ran %-24s %-12s %9d cycles\n", wl.Name, r.Policy, r.Cycles)
+		h.progressMu.Unlock()
 	}
 	return r
 }

@@ -1,0 +1,97 @@
+package harness
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// sweepHarness builds a tiny harness configured for SweepWarmup studies.
+func sweepHarness(t *testing.T, jobs int, warmup uint64, cold bool) *Harness {
+	t.Helper()
+	h := tiny(t)
+	h.AppNames = []string{"NW"}
+	h.Jobs = jobs
+	h.SweepWarmup = warmup
+	h.SweepColdstart = cold
+	return h
+}
+
+// TestSweepWarmupForkedMatchesCold is the harness half of the tentpole
+// gate: a forked sweep and a cold two-phase sweep of the same plan
+// produce identical structured results — at Jobs=1 and Jobs=8, and the
+// two worker counts agree with each other.
+func TestSweepWarmupForkedMatchesCold(t *testing.T) {
+	const warmup = 10_000
+	forked1 := sweepHarness(t, 1, warmup, false).Fig14L1(2, 16, 128)
+	forked8 := sweepHarness(t, 8, warmup, false).Fig14L1(2, 16, 128)
+	cold1 := sweepHarness(t, 1, warmup, true).Fig14L1(2, 16, 128)
+	cold8 := sweepHarness(t, 8, warmup, true).Fig14L1(2, 16, 128)
+
+	if !reflect.DeepEqual(forked1, cold1) {
+		t.Errorf("forked sweep differs from cold two-phase sweep:\n%+v\n%+v", forked1, cold1)
+	}
+	if !reflect.DeepEqual(forked1, forked8) {
+		t.Errorf("forked sweep differs between Jobs=1 and Jobs=8:\n%+v\n%+v", forked1, forked8)
+	}
+	if !reflect.DeepEqual(cold1, cold8) {
+		t.Errorf("cold two-phase sweep differs between Jobs=1 and Jobs=8:\n%+v\n%+v", cold1, cold8)
+	}
+}
+
+// TestSweepWarmupRecordsMatch extends the forked-vs-cold guarantee to
+// the collected RunRecords — the exported representation CI diffs. The
+// comparison is on serialized bytes, the same form mosaic-report sees.
+func TestSweepWarmupRecordsMatch(t *testing.T) {
+	const warmup = 10_000
+	collect := func(cold bool) []byte {
+		h := sweepHarness(t, 8, warmup, cold)
+		fig := h.CollectFigure("fig15a", func() metrics.Table {
+			return h.Fig15L1(2, 4, 64).Table
+		})
+		b, err := json.MarshalIndent(fig, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	forked := collect(false)
+	cold := collect(true)
+	if string(forked) != string(cold) {
+		t.Errorf("forked sweep records differ from cold two-phase records:\nforked:\n%s\ncold:\n%s", forked, cold)
+	}
+}
+
+// TestSweepWarmupChangesDigests pins the digest contract: a two-phase
+// sweep (warmup > 0) is a different run plan than a plain sweep, so
+// their records must not collide in digest-keyed caches.
+func TestSweepWarmupChangesDigests(t *testing.T) {
+	warm := sweepHarness(t, 0, 10_000, false)
+	figWarm := warm.CollectFigure("fig15a", func() metrics.Table {
+		return warm.Fig15L1(2, 4).Table
+	})
+	plain := sweepHarness(t, 0, 0, false)
+	figPlain := plain.CollectFigure("fig15a", func() metrics.Table {
+		return plain.Fig15L1(2, 4).Table
+	})
+	if len(figWarm.Runs) == 0 || len(figWarm.Runs) != len(figPlain.Runs) {
+		t.Fatalf("unexpected record counts: warm %d plain %d", len(figWarm.Runs), len(figPlain.Runs))
+	}
+	for i := range figWarm.Runs {
+		w, p := figWarm.Runs[i], figPlain.Runs[i]
+		// Alone runs (weighted-speedup denominators) stay single-phase
+		// in both modes, so their digests legitimately agree.
+		if strings.HasPrefix(w.Workload, "alone-") {
+			if w.ConfigDigest != p.ConfigDigest {
+				t.Errorf("run %d (%s): alone run digest changed under SweepWarmup", i, w.Workload)
+			}
+			continue
+		}
+		if w.ConfigDigest == p.ConfigDigest {
+			t.Errorf("run %d (%s): two-phase digest %s collides with plain digest", i, w.Workload, w.ConfigDigest)
+		}
+	}
+}

@@ -72,6 +72,21 @@ func New(cfg config.Config, q *event.Queue) *Bus {
 	}
 }
 
+// Clone returns a deep copy of the bus wired to q (a forked simulator's
+// event queue). All timing state — busyUntil, the in-flight completion
+// cycles used for queue-depth accounting, and stats — is duplicated, so a
+// fork sees the same future bus availability a cold run would. Completion
+// callbacks of transfers still in flight live on the source's event queue,
+// not in the Bus, so callers must quiesce (drain all transfers) before
+// snapshotting; the inflight cycle list itself is history-only and safe to
+// copy.
+func (b *Bus) Clone(q *event.Queue) *Bus {
+	nb := *b
+	nb.q = q
+	nb.inflight = append([]uint64(nil), b.inflight...)
+	return &nb
+}
+
 // LoadToUseCycles returns the load-to-use latency of a fault of the given
 // page size (55 us for 4KB, 318 us for 2MB on the paper's GTX 1080).
 func (b *Bus) LoadToUseCycles(size vmem.PageSize) uint64 {

@@ -1,0 +1,128 @@
+// Package lint holds repo-wide source hygiene checks that run as
+// ordinary tests, so `go test ./...` (and CI's lint step) enforces them
+// without external tooling.
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// moduleRoot walks up from the test's working directory to the
+// directory containing go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above test directory")
+		}
+		dir = parent
+	}
+}
+
+// packageDirs returns every directory under root (root included) that
+// contains at least one non-test .go file, skipping hidden and
+// tool-output directories.
+func packageDirs(t *testing.T, root string) []string {
+	t.Helper()
+	seen := map[string]bool{}
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || name == "testdata" || name == "docs") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dirs
+}
+
+// TestExportedSymbolsDocumented fails if any exported top-level symbol
+// (function, method, type, var, or const) in a non-test file lacks a
+// doc comment. The simulator's public surface carries behavioral
+// contracts — determinism obligations, aliasing rules for Clone/Fork,
+// digest participation — and an undocumented export is where those
+// contracts silently rot. Keep this green by writing the doc comment,
+// not by exempting the symbol.
+func TestExportedSymbolsDocumented(t *testing.T) {
+	root := moduleRoot(t)
+	var missing []string
+	for _, dir := range packageDirs(t, root) {
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		report := func(pos token.Pos, kind, name string) {
+			p := fset.Position(pos)
+			rel, _ := filepath.Rel(root, p.Filename)
+			missing = append(missing, rel+":"+kind+" "+name)
+		}
+		for _, pkg := range pkgs {
+			for _, f := range pkg.Files {
+				for _, decl := range f.Decls {
+					switch d := decl.(type) {
+					case *ast.FuncDecl:
+						if d.Name.IsExported() && d.Doc == nil {
+							kind := "func"
+							if d.Recv != nil {
+								kind = "method"
+							}
+							report(d.Pos(), kind, d.Name.Name)
+						}
+					case *ast.GenDecl:
+						for _, spec := range d.Specs {
+							switch s := spec.(type) {
+							case *ast.TypeSpec:
+								if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+									report(s.Pos(), "type", s.Name.Name)
+								}
+							case *ast.ValueSpec:
+								for _, n := range s.Names {
+									if n.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+										report(n.Pos(), "value", n.Name)
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	for _, m := range missing {
+		t.Error("undocumented exported symbol: " + m)
+	}
+}

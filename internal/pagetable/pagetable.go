@@ -112,6 +112,42 @@ func (pt *PageTable) ASID() vmem.ASID { return pt.asid }
 // Stats returns a snapshot of table statistics.
 func (pt *PageTable) Stats() Stats { return pt.stats }
 
+// Clone returns a deep copy of the table for a forked simulator. Every
+// node is duplicated with its physical address preserved — walks of the
+// clone read the same PTE addresses, so the forked memory traffic matches
+// the original exactly — and no node allocator calls are made (node stats
+// carry over unchanged). Nodes created in the clone after this point use
+// alloc, which must be the forked owner's allocator, not the source's.
+func (pt *PageTable) Clone(alloc NodeAllocator) *PageTable {
+	npt := *pt
+	npt.alloc = alloc
+	npt.root = cloneNode(pt.root)
+	return &npt
+}
+
+// cloneNode deep-copies a node subtree, preserving assigned addresses.
+func cloneNode(n *node) *node {
+	if n == nil {
+		return nil
+	}
+	nn := &node{addr: n.addr, population: n.population}
+	if n.leaves != nil {
+		nn.leaves = make([]leafEntry, len(n.leaves))
+		copy(nn.leaves, n.leaves)
+	}
+	if n.children != nil {
+		nn.children = make([]*node, len(n.children))
+		for i, c := range n.children {
+			nn.children[i] = cloneNode(c)
+		}
+	}
+	if n.largeBit != nil {
+		nn.largeBit = make([]bool, len(n.largeBit))
+		copy(nn.largeBit, n.largeBit)
+	}
+	return nn
+}
+
 func (pt *PageTable) newNode(level int) *node {
 	n := &node{addr: pt.alloc()}
 	if level == Levels-1 {

@@ -120,6 +120,7 @@ func (s *Server) buildJob(req RunRequest) (*job, error) {
 		FragIndex:       req.FragIndex,
 		FragOccupancy:   req.FragOccupancy,
 		DeallocFraction: req.DeallocFraction,
+		SnapshotWarmup:  req.SnapshotWarmupCycles,
 	}
 	digest := sim.Digest(cfg, simOpt)
 	return &job{

@@ -31,6 +31,15 @@ type RunRequest struct {
 	// 2 means the workload's footprint is twice GPU memory). 0 leaves
 	// residency unbounded. Incompatible with NoPaging.
 	Oversub float64 `json:",omitempty"`
+	// SnapshotWarmupCycles runs the simulation as a two-phase plan (same
+	// meaning as mosaic-sim -snapshot-warmup): a warmup prefix to this
+	// cycle, a quiesce, then the measured remainder. It participates in
+	// the config digest — a two-phase run is a distinct experiment — and
+	// a server-side run produces the same ConfigDigest identity as a
+	// client-side run forked from a warmed snapshot of the same plan.
+	// 0 (the default) runs single-phase, exactly as before the field
+	// existed.
+	SnapshotWarmupCycles uint64 `json:",omitempty"`
 	// TimeoutMS bounds the job's whole life — queue wait plus run — in
 	// milliseconds; on expiry the job fails with "job deadline
 	// exceeded" and releases its worker. 0 defers to the server's

@@ -50,6 +50,17 @@ type Options struct {
 	// TraceLimit, when positive, records up to this many memory-management
 	// events (see internal/trace) into Results.Trace.
 	TraceLimit int
+	// SnapshotWarmup, when positive, runs the simulation as a two-phase
+	// plan: a warmup prefix to (at least) this cycle followed by a quiesce
+	// (instruction issue freezes and all in-flight events drain), then the
+	// remainder of the run. The quiesce point is where Snapshot/Fork may
+	// capture the engine, and the drain perturbs timing relative to a plain
+	// run, so the knob is part of the ConfigDigest: a warmup run is a
+	// different (but equally deterministic) experiment than a plain run,
+	// and forked runs are byte-identical to cold runs of the same plan.
+	// Zero leaves the digest and the run plan exactly as they were before
+	// the knob existed.
+	SnapshotWarmup uint64
 }
 
 type warpState uint8
@@ -235,10 +246,17 @@ func Digest(cfg config.Config, opt Options) string {
 // DigestString, which strips knobs added after the digest scheme shipped
 // when they hold their zero value — a run that does not use a new knob
 // keeps the digest it had before the knob existed.
+// Options.SnapshotWarmup follows the same zero-omission rule inline:
+// it joins the hash only when set, because the warmup quiesce changes
+// timing and therefore defines a distinct experiment.
 func configDigest(cfg config.Config, opt Options, mopt core.Options) string {
 	h := fnv.New64a()
-	fmt.Fprintf(h, "%s|seed=%d frag=%g/%g dealloc=%g|%+v",
-		cfg.DigestString(), opt.Seed, opt.FragIndex, opt.FragOccupancy, opt.DeallocFraction, mopt)
+	fmt.Fprintf(h, "%s|seed=%d frag=%g/%g dealloc=%g",
+		cfg.DigestString(), opt.Seed, opt.FragIndex, opt.FragOccupancy, opt.DeallocFraction)
+	if opt.SnapshotWarmup > 0 {
+		fmt.Fprintf(h, " warmup=%d", opt.SnapshotWarmup)
+	}
+	fmt.Fprintf(h, "|%+v", mopt)
 	return fmt.Sprintf("%016x", h.Sum64())
 }
 
@@ -270,6 +288,21 @@ type Simulator struct {
 	// deallocPoll is pollDealloc bound once, so re-arming the poll on the
 	// event queue does not allocate a fresh method value each period.
 	deallocPoll event.Func
+	// pollPending/pollAt track whether (and for which cycle) the dealloc
+	// poll is currently scheduled. The poll is the one event allowed to
+	// remain on the queue across a warmup quiesce — it re-arms itself
+	// indefinitely, so draining it would hang — and Fork uses pollAt to
+	// re-schedule a freshly bound poll on the fork's queue.
+	pollPending bool
+	pollAt      uint64
+
+	// started records that the run plan began (the dealloc poll, if any,
+	// is armed); warmupDone that the warmup phase (if any) completed;
+	// frozen that a Snapshot captured this simulator, after which it must
+	// not run further (forks would observe mutated source state).
+	started    bool
+	warmupDone bool
+	frozen     bool
 
 	// Free lists for the pooled memory-access path (see memory.go). Both
 	// are LIFO stacks; objects carry their callbacks pre-bound, so the
@@ -339,32 +372,47 @@ func New(cfg config.Config, wl workload.Workload, opt Options) (*Simulator, erro
 			cfg.L2CacheLineSz, ways)
 	}
 	s.pwc = pwc
-	walkAccess := func(now uint64, addr vmem.PhysAddr, level int, done func(uint64)) {
-		// A dedicated page-walk cache (Power et al.) intercepts PTE
-		// reads before the memory system when configured.
-		if pwc != nil {
-			if pwc.Lookup(addr) {
-				s.q.Schedule(now+uint64(cfg.PageWalkCacheLatency), done)
-				return
-			}
-			inner := done
-			done = func(c uint64) {
-				pwc.Fill(addr)
-				inner(c)
-			}
-		}
-		// Upper-level PTEs cover huge ranges and stay hot in the L2
-		// cache even at unscaled working sets; leaf PTEs thrash. With
-		// PTWalkCached every level is L2-cacheable.
-		if cfg.PTWalkCached || level < pagetable.Levels-1 {
-			s.accessL2(now, addr, done)
+	s.walker = walker.New(cfg.WalkerConcurrency, mgr, s.walkAccess)
+	s.bindFlushHooks()
+
+	if err := s.setupApps(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// walkAccess is the walker's memory path: one PTE read per call. A
+// dedicated page-walk cache (Power et al.) intercepts reads before the
+// memory system when configured. It is a method (not a closure over New's
+// locals) so Fork can hand a forked walker the forked simulator's path.
+func (s *Simulator) walkAccess(now uint64, addr vmem.PhysAddr, level int, done func(uint64)) {
+	if s.pwc != nil {
+		if s.pwc.Lookup(addr) {
+			s.q.Schedule(now+uint64(s.cfg.PageWalkCacheLatency), done)
 			return
 		}
-		s.accessPTE(now, addr, done)
+		pwc, inner := s.pwc, done
+		done = func(c uint64) {
+			pwc.Fill(addr)
+			inner(c)
+		}
 	}
-	s.walker = walker.New(cfg.WalkerConcurrency, mgr, walkAccess)
+	// Upper-level PTEs cover huge ranges and stay hot in the L2
+	// cache even at unscaled working sets; leaf PTEs thrash. With
+	// PTWalkCached every level is L2-cacheable.
+	if s.cfg.PTWalkCached || level < pagetable.Levels-1 {
+		s.accessL2(now, addr, done)
+		return
+	}
+	s.accessPTE(now, addr, done)
+}
 
-	mgr.SetFlushHooks(
+// bindFlushHooks points the manager's TLB shootdown callbacks at this
+// simulator's TLBs. The hooks read s.l2tlb and s.sms through the receiver
+// at call time, so they survive Reconfigure replacing the TLB objects;
+// forks rebind so shootdowns reach the fork's TLBs, not the source's.
+func (s *Simulator) bindFlushHooks() {
+	s.mgr.SetFlushHooks(
 		func(asid vmem.ASID, va vmem.VirtAddr) {
 			s.l2tlb.FlushLargeEntry(asid, va)
 			for _, m := range s.sms {
@@ -384,11 +432,6 @@ func New(cfg config.Config, wl workload.Workload, opt Options) (*Simulator, erro
 			}
 		},
 	)
-
-	if err := s.setupApps(); err != nil {
-		return nil, err
-	}
-	return s, nil
 }
 
 // setupApps partitions SMs equally across applications (§5), registers
@@ -484,16 +527,58 @@ func (s *Simulator) setupApps() error {
 }
 
 // Run executes the simulation to completion (or MaxCycles) and returns
-// the results. It must be called once.
+// the results. It must be called once. When Options.SnapshotWarmup is set
+// and the warmup phase has not yet run (i.e. the simulator was not forked
+// from a warmed snapshot), Run performs the warmup-then-quiesce prefix
+// first, so server- and CLI-side runs of the same plan agree regardless
+// of whether they went through Snapshot/Fork.
 func (s *Simulator) Run() (Results, error) {
+	if s.frozen {
+		return Results{}, errors.New("sim: Run on a frozen (snapshotted) simulator; Fork it instead")
+	}
+	if s.opt.SnapshotWarmup > 0 && !s.warmupDone {
+		if err := s.RunWarmup(); err != nil {
+			return Results{}, err
+		}
+	}
+	s.start()
+	if err := s.runUntil(s.cfg.MaxCycles); err != nil {
+		return Results{}, err
+	}
+	return s.results(), nil
+}
+
+// start arms the run plan exactly once: the dealloc poll, if configured,
+// goes on the event queue. Both Run and RunWarmup call it, so the poll is
+// armed at the true beginning of the run whichever entry point came first.
+func (s *Simulator) start() {
+	if s.started {
+		return
+	}
+	s.started = true
 	if s.opt.DeallocFraction > 0 {
 		// Dealloc polling rides the event queue so idle fast-forward can
 		// never starve it (it used to key off s.cycle&0x1FFF == 0, which
 		// fast-forward could jump straight over).
 		s.deallocPoll = s.pollDealloc
-		s.q.Schedule(deallocPollPeriod, s.deallocPoll)
+		s.schedulePoll(deallocPollPeriod)
 	}
-	for s.liveApps > 0 && s.cycle < s.cfg.MaxCycles {
+}
+
+// schedulePoll arms the dealloc poll for cycle at, tracking the pending
+// registration so quiesce and Fork can account for it.
+func (s *Simulator) schedulePoll(at uint64) {
+	s.pollPending = true
+	s.pollAt = at
+	s.q.Schedule(at, s.deallocPoll)
+}
+
+// runUntil drives the main loop while applications remain live and the
+// cycle counter is below bound. It is the single authoritative loop body
+// — Run and RunWarmup both use it, so warmed-up prefixes execute exactly
+// the instructions a full run's first cycles would.
+func (s *Simulator) runUntil(bound uint64) error {
+	for s.liveApps > 0 && s.cycle < bound {
 		s.q.RunDue(s.cycle)
 
 		issued := false
@@ -527,7 +612,7 @@ func (s *Simulator) Run() (Results, error) {
 		consider(s.nextWarpWake())
 		if !found {
 			if s.liveApps > 0 {
-				return Results{}, fmt.Errorf("sim: deadlock at cycle %d with %d live apps", s.cycle, s.liveApps)
+				return fmt.Errorf("sim: deadlock at cycle %d with %d live apps", s.cycle, s.liveApps)
 			}
 			break
 		}
@@ -535,7 +620,7 @@ func (s *Simulator) Run() (Results, error) {
 			s.cycle = target
 		}
 	}
-	return s.results(), nil
+	return nil
 }
 
 // nextWarpWake returns the earliest wake cycle among warps waiting on a
@@ -564,6 +649,7 @@ const deallocPollPeriod = 0x2000
 // on the event queue until every app has either deallocated or completed,
 // so the poll fires even through idle fast-forward.
 func (s *Simulator) pollDealloc(c uint64) {
+	s.pollPending = false
 	pending := false
 	for _, app := range s.apps {
 		if app.deallocDone || app.completed {
@@ -596,7 +682,7 @@ func (s *Simulator) pollDealloc(c uint64) {
 		}
 	}
 	if pending {
-		s.q.Schedule(c+deallocPollPeriod, s.deallocPoll)
+		s.schedulePoll(c + deallocPollPeriod)
 	}
 }
 

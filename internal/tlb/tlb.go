@@ -255,6 +255,30 @@ func MustNew(cfg Config) *TLB {
 // Name returns the diagnostic name.
 func (t *TLB) Name() string { return t.name }
 
+// Clone returns a deep copy of the TLB: entry arrays, LRU ticks, and stats
+// are all duplicated, so the clone and the receiver may diverge freely.
+// Forked simulators must not share TLB state — every lookup mutates LRU
+// recency, so aliasing would leak recency across forks.
+func (t *TLB) Clone() *TLB {
+	nt := *t
+	nt.base = t.base.clone()
+	nt.large = t.large.clone()
+	return &nt
+}
+
+// RestoreStats overwrites the TLB's counters, carrying warmup-phase stats
+// across a geometry rebuild (Reconfigure replaces the arrays but the run
+// record must still account for lookups made before the rebuild).
+func (t *TLB) RestoreStats(s Stats) { t.stats = s }
+
+// clone deep-copies one entry array including LRU state.
+func (e *entrySet) clone() *entrySet {
+	ne := *e
+	ne.arr = make([]way, len(e.arr))
+	copy(ne.arr, e.arr)
+	return &ne
+}
+
 // Latency returns the lookup latency in cycles.
 func (t *TLB) Latency() int { return t.latency }
 
@@ -394,4 +418,12 @@ func (g *PortGate) Admit(now uint64) uint64 {
 	}
 	g.usedInCyc++
 	return g.cycle
+}
+
+// Clone returns an independent copy of the gate (its high-water cycle and
+// in-cycle port count). Forks must not share a gate: Admit mutates the
+// arbitration state on every call.
+func (g *PortGate) Clone() *PortGate {
+	ng := *g
+	return &ng
 }

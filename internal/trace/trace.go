@@ -112,6 +112,19 @@ func (r *Recorder) Record(ev Event) {
 	r.events = append(r.events, ev)
 }
 
+// Clone returns an independent copy of the recorder (events, limit, drop
+// count). A nil receiver clones to nil, matching the disabled-recorder
+// convention. Forked simulators clone so each fork's trace diverges
+// without sharing the backing event slice.
+func (r *Recorder) Clone() *Recorder {
+	if r == nil {
+		return nil
+	}
+	nr := *r
+	nr.events = append([]Event(nil), r.events...)
+	return &nr
+}
+
 // Len returns the number of retained events.
 func (r *Recorder) Len() int {
 	if r == nil {

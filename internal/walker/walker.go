@@ -108,6 +108,26 @@ func New(slots int, tables TableSet, access AccessFunc) *Walker {
 	}
 }
 
+// Clone returns a copy of the walker rebound to a forked simulator's
+// table set and memory access path (both hold references to the owning
+// engine, so the fork must supply its own). It requires the walker to be
+// idle — no active walks, no queued requests, no in-flight coalescing
+// state — because those hold continuation closures bound to the source;
+// Clone panics otherwise. Stats (including the latency histogram) carry
+// over by value.
+func (w *Walker) Clone(tables TableSet, access AccessFunc) *Walker {
+	if w.active != 0 || len(w.pending) != 0 || len(w.inflight) != 0 {
+		panic("walker: Clone while walks are in flight")
+	}
+	return &Walker{
+		slots:    w.slots,
+		tables:   tables,
+		access:   access,
+		inflight: make(map[key][]DoneFunc),
+		stats:    w.stats,
+	}
+}
+
 // Stats returns a snapshot of the counters.
 func (w *Walker) Stats() Stats { return w.stats }
 

@@ -228,7 +228,13 @@ type StreamGen struct {
 	runOff     uint64
 	remaining  int
 	rng        *rand.Rand
-	lineSize   uint64
+	// rngSeed and rngDraws record how to reconstruct rng: the source seed
+	// and how many Int63 values have been drawn. Clone replays the draw
+	// count against a fresh source so a forked stream continues the exact
+	// pseudo-random sequence the original would have produced.
+	rngSeed  int64
+	rngDraws uint64
+	lineSize uint64
 
 	// Replay state: position and stride within the recorded trace.
 	replayPos    int
@@ -267,6 +273,7 @@ func (s Spec) NewStream(cfg config.Config, warpIndex, warpCount int, seed int64)
 		// untouched.
 		sliceOff = 0
 	}
+	rngSeed := seed ^ int64(warpIndex)*0x9E3779B9
 	g := &StreamGen{
 		spec:         s,
 		ws:           ws,
@@ -274,12 +281,35 @@ func (s Spec) NewStream(cfg config.Config, warpIndex, warpCount int, seed int64)
 		slicePages:   slicePages,
 		sliceStart:   (uint64(warpIndex) * totalPages / uint64(warpCount)) % totalPages,
 		remaining:    s.AccessesPerWarp,
-		rng:          rand.New(rand.NewSource(seed ^ int64(warpIndex)*0x9E3779B9)),
+		rng:          rand.New(rand.NewSource(rngSeed)),
+		rngSeed:      rngSeed,
 		lineSize:     uint64(cfg.L1CacheLineSz),
 		replayPos:    warpIndex,
 		replayStride: warpCount,
 	}
 	return g
+}
+
+// randInt63 draws the next pseudo-random value, counting draws so Clone
+// can fast-forward a reconstructed source to the same position.
+func (g *StreamGen) randInt63() int64 {
+	g.rngDraws++
+	return g.rng.Int63()
+}
+
+// Clone returns an independent copy of the generator that will produce
+// exactly the access stream the receiver would have produced from this
+// point on. The Spec (including any replay trace) is shared read-only;
+// all mutable state — position, run state, and the pseudo-random source,
+// reconstructed from its seed and fast-forwarded by the recorded draw
+// count — is private to the clone.
+func (g *StreamGen) Clone() *StreamGen {
+	ng := *g
+	ng.rng = rand.New(rand.NewSource(g.rngSeed))
+	for i := uint64(0); i < g.rngDraws; i++ {
+		ng.rng.Int63()
+	}
+	return &ng
 }
 
 // Remaining returns how many memory instructions the warp has left.
@@ -338,7 +368,7 @@ func (g *StreamGen) step(i int) uint64 {
 		return page*vmem.BasePageSize + g.runOff + uint64(i)*g.lineSize
 	case RandomAccess:
 		if i == 0 && !g.continueRun() {
-			g.pos = uint64(g.rng.Int63()) % g.ws
+			g.pos = uint64(g.randInt63()) % g.ws
 		}
 		return g.pos + g.runOff + uint64(i)*g.lineSize
 	case Stencil:
@@ -366,7 +396,7 @@ func (g *StreamGen) step(i int) uint64 {
 			hot = g.lineSize
 		}
 		if i == 0 && !g.continueRun() {
-			g.pos = uint64(g.rng.Int63()) % hot
+			g.pos = uint64(g.randInt63()) % hot
 		}
 		return g.pos + g.runOff + uint64(i)*g.lineSize
 	}

@@ -159,6 +159,30 @@ func Run(cfg Config, wl Workload, opt SimOptions) (Results, error) {
 	return s.Run()
 }
 
+// Simulator is one configured simulation engine. Most callers use Run;
+// the explicit form exists for the snapshot/fork sweep workflow: build
+// with NewSimulator and SimOptions.SnapshotWarmup set, RunWarmup, then
+// either Run (a cold two-phase run) or Snapshot and Fork each sweep
+// cell from the shared warmed state.
+type Simulator = sim.Simulator
+
+// SimSnapshot is a frozen, warmed simulator captured at its quiesce
+// point; Fork creates independent engines that resume from it. Forked
+// runs are byte-identical to cold two-phase runs of the same plan.
+type SimSnapshot = sim.Snapshot
+
+// NewSimulator builds a simulation engine without running it — the entry
+// point for snapshot/fork sweeps (see Simulator).
+func NewSimulator(cfg Config, wl Workload, opt SimOptions) (*Simulator, error) {
+	return sim.New(cfg, wl, opt)
+}
+
+// CanReconfigure reports whether cell differs from base only in the
+// knobs Simulator.Reconfigure accepts between warmup and measurement
+// (TLB geometry and latencies). Sweep drivers use it to decide whether
+// a grid's cells can share a warmup prefix.
+func CanReconfigure(base, cell Config) bool { return sim.CanReconfigure(base, cell) }
+
 // Harness regenerates the paper's evaluation figures and tables. Its
 // Jobs field bounds how many simulations run concurrently (0 =
 // GOMAXPROCS, 1 = sequential); structured results, rendered tables, and
