@@ -1,9 +1,12 @@
 // Command mosaic-sim runs one multi-application workload on the simulated
 // GPU under a chosen memory manager and prints detailed results. With
 // -server it submits the same runs to a mosaicd instance instead of
-// simulating locally: jobs are queued, deduplicated against the service's
-// digest-keyed cache, and polled until the report comes back — the
-// printed results and -record exports are byte-identical either way.
+// simulating locally: a single policy is one queued job, several
+// policies ("-policy all") go up as one campaign whose cells the
+// service deduplicates against its digest-keyed cache and result store
+// — the printed results and -record exports are byte-identical either
+// way. With -record-store a local run also files its records into a
+// result store on disk, prewarming the store a daemon fleet reads.
 //
 // Examples:
 //
@@ -12,9 +15,11 @@
 //	mosaic-sim -apps BFS2,SCAN,RED -policy all -scale 32
 //	mosaic-sim -apps HS,CONS -policy all -record runs.json
 //	mosaic-sim -server http://127.0.0.1:8641 -apps HS,CONS -policy mosaic
+//	mosaic-sim -apps HS,CONS -policy all -record-store /var/lib/mosaic/store
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -40,6 +45,7 @@ func main() {
 		snapWarm  = flag.Uint64("snapshot-warmup", 0, "run as a two-phase plan: warm up to this cycle, quiesce, then measure (0 = single-phase; changes the config digest)")
 		traceOut  = flag.String("trace", "", "write a JSON event trace to this file (local runs only)")
 		recordOut = flag.String("record", "", "write the runs' structured records as a JSON report to this file (see docs/RESULTS_SCHEMA.md)")
+		storeDir  = flag.String("record-store", "", "also file each run's record into the result store rooted at this directory, under the same key a mosaicd would use (local runs only; prewarms a fleet's shared store)")
 		serverURL = flag.String("server", "", "submit to this mosaicd URL instead of simulating locally (see docs/SERVICE.md)")
 		timeout   = flag.Duration("timeout", 0, "with -server: per-job deadline covering queue wait and run (0 = server default)")
 		list      = flag.Bool("list", false, "list the 27 suite applications and exit")
@@ -64,38 +70,71 @@ func main() {
 		if *traceOut != "" {
 			fatal(fmt.Errorf("-trace is not supported with -server (traces never leave the service)"))
 		}
+		if *storeDir != "" {
+			fatal(fmt.Errorf("-record-store is local-only: with -server the service persists results into its own store"))
+		}
 		if *timeout < 0 {
 			fatal(fmt.Errorf("-timeout must be non-negative"))
 		}
-		recs := make([]mosaic.RunRecord, 0, len(policies))
+		base := mosaic.RunRequest{
+			Apps:                 strings.Split(*apps, ","),
+			Seed:                 *seed,
+			Scale:                *scale,
+			NoPaging:             *nopaging,
+			FragIndex:            *frag,
+			FragOccupancy:        *fragOcc,
+			DeallocFraction:      *dealloc,
+			Oversub:              *oversub,
+			SnapshotWarmupCycles: *snapWarm,
+			TimeoutMS:            timeout.Milliseconds(),
+		}
+		var recs []mosaic.RunRecord
 		client := mosaic.NewServiceClient(*serverURL)
-		for _, p := range policies {
-			req := mosaic.RunRequest{
-				Apps:                 strings.Split(*apps, ","),
-				Policy:               p.name,
-				Seed:                 *seed,
-				Scale:                *scale,
-				NoPaging:             *nopaging,
-				FragIndex:            *frag,
-				FragOccupancy:        *fragOcc,
-				DeallocFraction:      *dealloc,
-				Oversub:              *oversub,
-				SnapshotWarmupCycles: *snapWarm,
-				TimeoutMS:            timeout.Milliseconds(),
-			}
-			rep, err := client.Run(context.Background(), req)
+		if len(policies) == 1 {
+			base.Policy = policies[0].name
+			rep, err := client.Run(context.Background(), base)
 			if err != nil {
 				fatal(err)
 			}
-			for _, fig := range rep.Figures {
-				for _, rec := range fig.Runs {
-					reportRecord(rec)
-					recs = append(recs, rec)
-				}
+			recs = collectRecords(rep, recs)
+		} else {
+			// Several policies are one campaign over the policy axis:
+			// the service plans and runs the cells, the event stream
+			// returns them in grid (= policy) order, so the printed
+			// reports come back in the same order the loop above ran.
+			names := make([]string, len(policies))
+			for i, p := range policies {
+				names[i] = p.name
 			}
+			events, err := client.RunCampaign(context.Background(),
+				mosaic.CampaignRequest{Base: base, Policies: names})
+			if err != nil {
+				fatal(err)
+			}
+			for i, ev := range events {
+				if ev.State != mosaic.JobDone {
+					fatal(fmt.Errorf("cell %d (%s): %s %s", i, ev.Policy, ev.State, ev.Error))
+				}
+				rep, err := mosaic.ReadReport(bytes.NewReader(ev.Result))
+				if err != nil {
+					fatal(fmt.Errorf("cell %d: parsing result: %w", i, err))
+				}
+				recs = collectRecords(rep, recs)
+			}
+		}
+		for _, rec := range recs {
+			reportRecord(rec)
 		}
 		writeRecordsIfAsked(*recordOut, *apps, *seed, recs)
 		return
+	}
+
+	var resultStore *mosaic.DiskStore
+	if *storeDir != "" {
+		var err error
+		if resultStore, err = mosaic.NewDiskStore(*storeDir); err != nil {
+			fatal(err)
+		}
 	}
 
 	cfg := mosaic.EvalConfig()
@@ -144,7 +183,25 @@ func main() {
 			fatal(err)
 		}
 		report(res)
-		recs = append(recs, mosaic.NewRunRecord(res))
+		rec := mosaic.NewRunRecord(res)
+		recs = append(recs, rec)
+		if resultStore != nil {
+			req := mosaic.RunRequest{
+				Apps:                 strings.Split(*apps, ","),
+				Policy:               p.name,
+				Seed:                 *seed,
+				Scale:                *scale,
+				NoPaging:             *nopaging,
+				FragIndex:            *frag,
+				FragOccupancy:        *fragOcc,
+				DeallocFraction:      *dealloc,
+				Oversub:              *oversub,
+				SnapshotWarmupCycles: *snapWarm,
+			}
+			if err := fileRecord(resultStore, req, rec); err != nil {
+				fatal(err)
+			}
+		}
 		if *traceOut != "" && res.Trace != nil {
 			if err := writeTrace(*traceOut, res); err != nil {
 				fatal(err)
@@ -152,6 +209,34 @@ func main() {
 		}
 	}
 	writeRecordsIfAsked(*recordOut, *apps, *seed, recs)
+}
+
+// collectRecords appends a fetched report's run records to recs.
+func collectRecords(rep mosaic.Report, recs []mosaic.RunRecord) []mosaic.RunRecord {
+	for _, fig := range rep.Figures {
+		recs = append(recs, fig.Runs...)
+	}
+	return recs
+}
+
+// fileRecord puts one run's record into the result store under the key
+// a daemon would compute for the equivalent service request, so the
+// store can later serve that request without re-simulating. A duplicate
+// write of identical bytes is a no-op; divergent bytes are an error the
+// store refuses (and quarantines), surfaced here.
+func fileRecord(st *mosaic.DiskStore, req mosaic.RunRequest, rec mosaic.RunRecord) error {
+	key, err := mosaic.RunStoreKey(req)
+	if err != nil {
+		return fmt.Errorf("record-store: resolving key: %w", err)
+	}
+	payload, err := mosaic.RunRecordPayload(rec)
+	if err != nil {
+		return fmt.Errorf("record-store: encoding record: %w", err)
+	}
+	if err := st.Put(key, payload); err != nil {
+		return fmt.Errorf("record-store: %w", err)
+	}
+	return nil
 }
 
 func fatal(err error) {

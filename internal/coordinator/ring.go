@@ -1,0 +1,65 @@
+package coordinator
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// ringReplicas is the virtual-node count per worker: enough to spread
+// cells evenly across a handful of workers without making ring
+// construction noticeable.
+const ringReplicas = 64
+
+// ring is a consistent-hash ring over worker names. Cells hash onto the
+// ring and walk it clockwise, so each cell has a stable preference
+// order over workers: adding or removing one worker only moves the
+// cells that hashed to it, and every cell has a deterministic sequence
+// of fallbacks when its preferred worker is down.
+type ring struct {
+	hashes  []uint64
+	workers map[uint64]int // vnode hash -> worker index
+	n       int
+}
+
+// newRing builds the ring over n workers named by name(i).
+func newRing(n int, name func(int) string) *ring {
+	r := &ring{workers: make(map[uint64]int, n*ringReplicas), n: n}
+	for i := 0; i < n; i++ {
+		for rep := 0; rep < ringReplicas; rep++ {
+			h := hash64(name(i) + "#" + string(rune('0'+rep%10)) + string(rune('0'+rep/10)))
+			// A full collision between vnodes is vanishingly unlikely;
+			// first writer wins keeps the ring deterministic regardless.
+			if _, dup := r.workers[h]; !dup {
+				r.workers[h] = i
+				r.hashes = append(r.hashes, h)
+			}
+		}
+	}
+	sort.Slice(r.hashes, func(a, b int) bool { return r.hashes[a] < r.hashes[b] })
+	return r
+}
+
+// candidates returns every worker index in the key's ring order: the
+// owner first, then each distinct successor. The slice always has
+// exactly n entries.
+func (r *ring) candidates(key string) []int {
+	out := make([]int, 0, r.n)
+	seen := make([]bool, r.n)
+	h := hash64(key)
+	start := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	for i := 0; len(out) < r.n && i < len(r.hashes); i++ {
+		w := r.workers[r.hashes[(start+i)%len(r.hashes)]]
+		if !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// hash64 is fnv-1a over s.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}

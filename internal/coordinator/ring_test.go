@@ -1,0 +1,74 @@
+package coordinator
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingCandidates pins the ring's contract: every worker appears
+// exactly once per candidate list, the order is deterministic for a
+// key, and the owner only changes for keys that hashed to a removed
+// worker.
+func TestRingCandidates(t *testing.T) {
+	name := func(i int) string { return fmt.Sprintf("http://worker-%d", i) }
+	r := newRing(3, name)
+	for k := 0; k < 100; k++ {
+		key := fmt.Sprintf("cell-%d", k)
+		c1 := r.candidates(key)
+		c2 := r.candidates(key)
+		if len(c1) != 3 {
+			t.Fatalf("candidates(%q) has %d entries, want 3", key, len(c1))
+		}
+		seen := map[int]bool{}
+		for i, w := range c1 {
+			if w < 0 || w >= 3 || seen[w] {
+				t.Fatalf("candidates(%q) = %v: invalid or repeated worker", key, c1)
+			}
+			seen[w] = true
+			if c2[i] != w {
+				t.Fatalf("candidates(%q) not deterministic: %v vs %v", key, c1, c2)
+			}
+		}
+	}
+}
+
+// TestRingSpread asserts vnode hashing spreads keys across workers
+// rather than funneling everything to one: over 2000 keys on 2 workers,
+// neither side may own less than a fifth.
+func TestRingSpread(t *testing.T) {
+	name := func(i int) string { return fmt.Sprintf("http://worker-%d", i) }
+	r := newRing(2, name)
+	counts := [2]int{}
+	for k := 0; k < 2000; k++ {
+		counts[r.candidates(fmt.Sprintf("cell-%d", k))[0]]++
+	}
+	for w, n := range counts {
+		if n < 400 {
+			t.Errorf("worker %d owns only %d/2000 keys; ring badly skewed (%v)", w, n, counts)
+		}
+	}
+}
+
+// TestRingStability: removing one worker must not move keys owned by
+// the survivors — the point of consistent hashing. Simulated by
+// comparing the 2-worker ring against the 3-worker ring: keys owned by
+// worker 0 or 1 in the 3-ring keep their owner in the 2-ring.
+func TestRingStability(t *testing.T) {
+	name := func(i int) string { return fmt.Sprintf("http://worker-%d", i) }
+	r3 := newRing(3, name)
+	r2 := newRing(2, name)
+	moved := 0
+	for k := 0; k < 1000; k++ {
+		key := fmt.Sprintf("cell-%d", k)
+		own3 := r3.candidates(key)[0]
+		if own3 == 2 {
+			continue // owned by the removed worker: expected to move
+		}
+		if r2.candidates(key)[0] != own3 {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Errorf("%d keys owned by surviving workers moved when worker 2 left", moved)
+	}
+}

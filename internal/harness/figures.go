@@ -713,7 +713,7 @@ func (h *Harness) Fig14L1(n int, sizes ...int) SweepResult {
 		sizes = []int{8, 16, 32, 64, 128, 256}
 	}
 	return h.sweep("Fig. 14a: L1 TLB base-page entries", n, sizes,
-		func(c *config.Config, s int) { c.L1TLBBaseEntries = s })
+		mustSweepDim("l1base").Apply)
 }
 
 // Fig14L2 sweeps shared L2 TLB base-page entries (paper: 64-4096).
@@ -722,7 +722,7 @@ func (h *Harness) Fig14L2(n int, sizes ...int) SweepResult {
 		sizes = []int{64, 128, 256, 512, 1024, 4096}
 	}
 	return h.sweep("Fig. 14b: L2 TLB base-page entries", n, sizes,
-		func(c *config.Config, s int) { c.L2TLBBaseEntries = s })
+		mustSweepDim("l2base").Apply)
 }
 
 // Fig15L1 sweeps per-SM L1 TLB large-page entries (paper: 4-64).
@@ -731,7 +731,7 @@ func (h *Harness) Fig15L1(n int, sizes ...int) SweepResult {
 		sizes = []int{4, 8, 16, 32, 64}
 	}
 	return h.sweep("Fig. 15a: L1 TLB large-page entries", n, sizes,
-		func(c *config.Config, s int) { c.L1TLBLargeEntries = s })
+		mustSweepDim("l1large").Apply)
 }
 
 // Fig15L2 sweeps shared L2 TLB large-page entries (paper: 32-512).
@@ -740,7 +740,7 @@ func (h *Harness) Fig15L2(n int, sizes ...int) SweepResult {
 		sizes = []int{32, 64, 128, 256, 512}
 	}
 	return h.sweep("Fig. 15b: L2 TLB large-page entries", n, sizes,
-		func(c *config.Config, s int) { c.L2TLBLargeEntries = s })
+		mustSweepDim("l2large").Apply)
 }
 
 // --------------------------------------------------------- Fig. 16 & Tab. 2

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"container/list"
 	"context"
 	"errors"
 	"fmt"
@@ -11,6 +12,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/harness"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -33,9 +35,14 @@ type job struct {
 	simOpt sim.Options
 
 	// ctx bounds the job's whole life (queue wait + run) and cancel
-	// ends it early; both are set by start at acceptance time.
+	// ends it early; both are set by start at acceptance time. Jobs
+	// answered from the persistent store are born done and never start.
 	ctx    context.Context
 	cancel context.CancelFunc
+
+	// lruElem is the job's node in the server's done-job LRU, nil while
+	// the job is not cached as done. Guarded by Server.mu, not job.mu.
+	lruElem *list.Element
 
 	mu     sync.Mutex
 	state  JobState
@@ -60,10 +67,18 @@ func ParsePolicy(name string) (core.Policy, error) {
 	return 0, fmt.Errorf("unknown policy %q (want gpummu, gpummu-2mb, mosaic, or ideal)", name)
 }
 
+// buildJob resolves a request against the server's base configuration;
+// see the free buildJob for the semantics.
+func (s *Server) buildJob(req RunRequest) (*job, error) {
+	return buildJob(s.opt.BaseConfig, req)
+}
+
 // buildJob validates a request and resolves it into a ready-to-run job:
 // configuration, workload, simulation options, and the digest-based
-// cache key. The returned job is not yet registered or enqueued.
-func (s *Server) buildJob(req RunRequest) (*job, error) {
+// cache key. The returned job is not yet registered or enqueued. It is
+// a free function over the base configuration so campaign planning can
+// digest cells without a server.
+func buildJob(base func() config.Config, req RunRequest) (*job, error) {
 	if len(req.Apps) == 0 {
 		return nil, fmt.Errorf("apps required (see mosaic-sim -list for the suite)")
 	}
@@ -91,7 +106,7 @@ func (s *Server) buildJob(req RunRequest) (*job, error) {
 		return nil, fmt.Errorf("fragIndex, fragOccupancy, and deallocFraction must be in [0, 1]")
 	}
 
-	cfg := s.opt.BaseConfig()
+	cfg := base()
 	if req.Scale > 0 {
 		cfg.WorkloadScale = req.Scale
 	}
@@ -106,6 +121,16 @@ func (s *Server) buildJob(req RunRequest) (*job, error) {
 		// the config digest — oversubscribed and unbounded runs of the same
 		// workload never share a cache entry.
 		cfg.MaxResidentPages = workload.ResidentBudget(cfg, wl, req.Oversub)
+	}
+	if req.Dim != "" {
+		// A sweep cell: the registered dimension mutation plus the TLB-way
+		// clamp, applied exactly as mosaic-sweep's cellCfg applies them so
+		// the digest matches a local sweep of the same grid.
+		d, err := harness.SweepDimByName(req.Dim)
+		if err != nil {
+			return nil, err
+		}
+		harness.ApplySweepDim(&cfg, wl, d, req.DimValue)
 	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -198,6 +223,14 @@ func (j *job) finish(state JobState, errMsg string, result []byte) bool {
 	}
 	close(j.done)
 	return true
+}
+
+// dropResult releases a done job's serialized report (LRU eviction);
+// the job stays addressable and fetches fall through to the store.
+func (j *job) dropResult() {
+	j.mu.Lock()
+	j.result = nil
+	j.mu.Unlock()
 }
 
 // requestCancel ends the job early. A queued job transitions to
@@ -300,6 +333,7 @@ func (s *Server) execute(j *job) {
 		return
 	}
 
+	rec := metrics.NewRunRecord(o.res)
 	rep := metrics.Report{
 		SchemaVersion: metrics.SchemaVersion,
 		Generator:     s.opt.Generator,
@@ -308,7 +342,7 @@ func (s *Server) execute(j *job) {
 		Figures: []metrics.Figure{{
 			ID:    "run",
 			Title: j.policy.String() + " on " + j.wl.Name,
-			Runs:  []metrics.RunRecord{metrics.NewRunRecord(o.res)},
+			Runs:  []metrics.RunRecord{rec},
 		}},
 	}
 	var buf bytes.Buffer
@@ -316,9 +350,14 @@ func (s *Server) execute(j *job) {
 		s.finishExecFailure(j, err)
 		return
 	}
+	// Write through to the persistent store before the job turns done:
+	// any result a client has observed is durably stored (the PointResult
+	// fault corrupts only the served bytes, never the stored record).
+	s.putStore(j, rec)
 	result := s.faults.CorruptBytes(PointResult, buf.Bytes())
 	if j.finish(JobDone, "", result) {
 		s.runsCompleted.Add(1)
+		s.noteDone(j)
 	}
 }
 

@@ -18,6 +18,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	busy := s.busyWorkers.Load()
 	util := float64(busy) / float64(s.workers)
+	s.mu.Lock()
+	cacheSize := len(s.cache)
+	s.mu.Unlock()
+	sc := s.store.Counters()
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	type metric struct {
@@ -38,6 +42,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"mosaicd_cache_misses_total", "Submissions that required a new simulation.", "counter", strconv.FormatUint(misses, 10)},
 		{"mosaicd_cache_hit_rate", "Hits / (hits + misses), in [0, 1].", "gauge", formatFloat(hitRate)},
 		{"mosaicd_cache_evictions_total", "Failed/canceled jobs evicted so retries run fresh.", "counter", strconv.FormatUint(s.cacheEvictions.Load(), 10)},
+		{"mosaicd_cache_size", "Jobs currently in the in-memory result cache.", "gauge", strconv.Itoa(cacheSize)},
+		{"mosaicd_cache_capacity", "Bound on cached done results (0 = unbounded).", "gauge", strconv.Itoa(s.cacheCap)},
+		{"mosaicd_cache_lru_evictions_total", "Done results evicted by the LRU bound (still served from the store).", "counter", strconv.FormatUint(s.cacheLRUEvictions.Load(), 10)},
+		{"mosaicd_store_serves_total", "Submissions answered from the persistent store without simulating.", "counter", strconv.FormatUint(s.storeServes.Load(), 10)},
+		{"mosaicd_store_put_errors_total", "Completed results that failed to persist to the store.", "counter", strconv.FormatUint(s.storePutErrors.Load(), 10)},
+		{"mosaicd_store_gets_total", "Store lookups.", "counter", strconv.FormatUint(sc.Gets, 10)},
+		{"mosaicd_store_hits_total", "Store lookups that returned a payload.", "counter", strconv.FormatUint(sc.Hits, 10)},
+		{"mosaicd_store_puts_total", "Results persisted to the store.", "counter", strconv.FormatUint(sc.Puts, 10)},
+		{"mosaicd_store_dup_puts_total", "Identical re-puts deduplicated by the store.", "counter", strconv.FormatUint(sc.DupPuts, 10)},
+		{"mosaicd_store_quarantined_total", "Corrupt store entries quarantined instead of served.", "counter", strconv.FormatUint(sc.Quarantined, 10)},
+		{"mosaicd_campaigns_total", "Campaigns accepted.", "counter", strconv.FormatUint(s.campaignsTotal.Load(), 10)},
+		{"mosaicd_campaigns_active", "Campaigns currently running.", "gauge", strconv.FormatInt(s.campaignsActive.Load(), 10)},
+		{"mosaicd_campaign_cells_total", "Cells across all accepted campaigns.", "counter", strconv.FormatUint(s.campaignCells.Load(), 10)},
+		{"mosaicd_campaign_cells_cached_total", "Campaign cells answered from the cache or store.", "counter", strconv.FormatUint(s.campaignCellsCached.Load(), 10)},
+		{"mosaicd_campaign_cells_failed_total", "Campaign cells that ended failed.", "counter", strconv.FormatUint(s.campaignCellsFailed.Load(), 10)},
 	} {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %s\n", m.name, m.help, m.name, m.typ, m.name, m.val)
 	}

@@ -25,6 +25,7 @@
 package server
 
 import (
+	"container/list"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -38,6 +39,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/harness"
 	"repro/internal/sim"
+	"repro/internal/store"
 	"repro/internal/workload"
 )
 
@@ -79,6 +81,19 @@ type Options struct {
 	// mosaicd -fault; nil (the default) leaves every injection point
 	// inert at zero cost.
 	Faults *faults.Registry
+	// Store is the persistent result tier under the in-memory cache:
+	// completed runs are written through to it and submissions that miss
+	// the cache are answered from it without simulating. nil (the
+	// default) uses a process-local in-memory store; point multiple
+	// daemons at one store.NewDisk root to share results (mosaicd
+	// -store).
+	Store store.ResultStore
+	// CacheEntries bounds the in-memory hot tier of completed results
+	// (mosaicd -cache-entries): beyond it the least-recently-served
+	// done job is evicted — its bytes drop and later fetches fall
+	// through to the store. 0 (the default) leaves the cache unbounded,
+	// exactly the pre-flag behavior.
+	CacheEntries int
 }
 
 // Server is one mosaicd instance. Create with New, expose Handler over
@@ -95,24 +110,41 @@ type Server struct {
 	// execute still enforces deadlines by abandoning the result.
 	runSim func(context.Context, config.Config, workload.Workload, sim.Options) (sim.Results, error)
 
-	mu       sync.Mutex
-	draining bool
-	jobs     map[string]*job
-	cache    map[string]*job
-	seq      uint64
+	// store is the persistent tier; cacheCap bounds the done-job hot
+	// tier tracked by lru (least-recently-served at the back).
+	store    store.ResultStore
+	cacheCap int
+
+	mu          sync.Mutex
+	draining    bool
+	jobs        map[string]*job
+	cache       map[string]*job
+	lru         *list.List // of *job; done jobs only
+	seq         uint64
+	campaigns   map[string]*campaign
+	campaignSeq uint64
 
 	drained chan struct{} // closed once the queue is drained and workers stopped
 
-	workers        int
-	busyWorkers    atomic.Int64
-	accepted       atomic.Uint64
-	rejected       atomic.Uint64
-	runsCompleted  atomic.Uint64
-	runsFailed     atomic.Uint64
-	runsCanceled   atomic.Uint64
-	cacheHits      atomic.Uint64
-	cacheMisses    atomic.Uint64
-	cacheEvictions atomic.Uint64
+	workers           int
+	busyWorkers       atomic.Int64
+	accepted          atomic.Uint64
+	rejected          atomic.Uint64
+	runsCompleted     atomic.Uint64
+	runsFailed        atomic.Uint64
+	runsCanceled      atomic.Uint64
+	cacheHits         atomic.Uint64
+	cacheMisses       atomic.Uint64
+	cacheEvictions    atomic.Uint64
+	cacheLRUEvictions atomic.Uint64
+	storeServes       atomic.Uint64
+	storePutErrors    atomic.Uint64
+
+	campaignsTotal      atomic.Uint64
+	campaignsActive     atomic.Int64
+	campaignCells       atomic.Uint64
+	campaignCellsCached atomic.Uint64
+	campaignCellsFailed atomic.Uint64
 }
 
 // New starts a Server: its worker pool runs until Shutdown.
@@ -129,16 +161,23 @@ func New(opt Options) *Server {
 	if opt.BaseConfig == nil {
 		opt.BaseConfig = config.Eval
 	}
+	if opt.Store == nil {
+		opt.Store = store.NewMem()
+	}
 	s := &Server{
-		opt:     opt,
-		mux:     http.NewServeMux(),
-		runner:  harness.NewRunner(opt.Workers),
-		queue:   make(chan *job, opt.QueueSize),
-		faults:  opt.Faults,
-		jobs:    make(map[string]*job),
-		cache:   make(map[string]*job),
-		drained: make(chan struct{}),
-		workers: opt.Workers,
+		opt:      opt,
+		mux:      http.NewServeMux(),
+		runner:   harness.NewRunner(opt.Workers),
+		queue:    make(chan *job, opt.QueueSize),
+		faults:   opt.Faults,
+		store:    opt.Store,
+		cacheCap: opt.CacheEntries,
+		jobs:      make(map[string]*job),
+		cache:     make(map[string]*job),
+		lru:       list.New(),
+		campaigns: make(map[string]*campaign),
+		drained:  make(chan struct{}),
+		workers:  opt.Workers,
 		runSim: func(_ context.Context, cfg config.Config, wl workload.Workload, so sim.Options) (sim.Results, error) {
 			sm, err := sim.New(cfg, wl, so)
 			if err != nil {
@@ -151,6 +190,10 @@ func New(opt Options) *Server {
 	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/runs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("POST /v1/runs/{id}/cancel", s.handleCancel)
+	s.mux.HandleFunc("POST /v1/campaigns", s.handleCampaignSubmit)
+	s.mux.HandleFunc("GET /v1/campaigns/{id}", s.handleCampaignStatus)
+	s.mux.HandleFunc("GET /v1/campaigns/{id}/stream", s.handleCampaignStream)
+	s.mux.HandleFunc("POST /v1/campaigns/{id}/cancel", s.handleCampaignCancel)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 
@@ -223,6 +266,52 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if existing, ok := s.cache[j.key]; ok {
+		s.touch(existing)
+		s.mu.Unlock()
+		s.cacheHits.Add(1)
+		writeJSON(w, http.StatusOK, existing.status(true))
+		return
+	}
+	s.mu.Unlock()
+
+	// Cache miss: consult the persistent store before spending a queue
+	// slot. The lookup (possibly disk IO) runs outside s.mu, so the
+	// cache must be rechecked after — an identical racer may have won.
+	if result := s.tryStore(j); result != nil {
+		j.finish(JobDone, "", result)
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			writeError(w, http.StatusServiceUnavailable, "server is draining")
+			return
+		}
+		if existing, ok := s.cache[j.key]; ok {
+			s.touch(existing)
+			s.mu.Unlock()
+			s.cacheHits.Add(1)
+			writeJSON(w, http.StatusOK, existing.status(true))
+			return
+		}
+		s.seq++
+		j.id = fmt.Sprintf("r%06d", s.seq)
+		s.jobs[j.id] = j
+		s.cache[j.key] = j
+		j.lruElem = s.lru.PushFront(j)
+		s.trimLRU()
+		s.mu.Unlock()
+		s.storeServes.Add(1)
+		writeJSON(w, http.StatusOK, j.status(true))
+		return
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	if existing, ok := s.cache[j.key]; ok {
+		s.touch(existing)
 		s.mu.Unlock()
 		s.cacheHits.Add(1)
 		writeJSON(w, http.StatusOK, existing.status(true))
@@ -249,6 +338,46 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// touch marks a cached job as recently served. Caller holds s.mu.
+func (s *Server) touch(j *job) {
+	if j.lruElem != nil {
+		s.lru.MoveToFront(j.lruElem)
+	}
+}
+
+// noteDone registers a freshly completed job in the LRU hot tier (if it
+// is still its key's cache entry) and enforces the cache bound.
+func (s *Server) noteDone(j *job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cache[j.key] != j || j.lruElem != nil {
+		return
+	}
+	j.lruElem = s.lru.PushFront(j)
+	s.trimLRU()
+}
+
+// trimLRU evicts least-recently-served done jobs beyond the cache
+// bound: the cache entry goes away (an identical resubmission builds a
+// fresh job, served from the store) and the job's result bytes are
+// dropped (a later fetch by ID falls through to the store). Caller
+// holds s.mu.
+func (s *Server) trimLRU() {
+	if s.cacheCap <= 0 {
+		return
+	}
+	for s.lru.Len() > s.cacheCap {
+		e := s.lru.Back()
+		old := s.lru.Remove(e).(*job)
+		old.lruElem = nil
+		if s.cache[old.key] == old {
+			delete(s.cache, old.key)
+		}
+		old.dropResult()
+		s.cacheLRUEvictions.Add(1)
+	}
+}
+
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	j := s.lookup(r.PathValue("id"))
 	if j == nil {
@@ -269,6 +398,14 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	j.mu.Unlock()
 	switch state {
 	case JobDone:
+		if result == nil {
+			// The hot tier dropped this job's bytes (LRU bound); refetch
+			// from the persistent store, which outlives the cache entry.
+			if result = s.tryStore(j); result == nil {
+				writeError(w, http.StatusGone, "result evicted from cache and not in store")
+				return
+			}
+		}
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusOK)
 		w.Write(result)
@@ -329,6 +466,10 @@ func (s *Server) evict(j *job) {
 	if s.cache[j.key] == j {
 		delete(s.cache, j.key)
 		s.cacheEvictions.Add(1)
+	}
+	if j.lruElem != nil {
+		s.lru.Remove(j.lruElem)
+		j.lruElem = nil
 	}
 	s.mu.Unlock()
 }

@@ -1,0 +1,155 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/store"
+)
+
+// fetchResult GETs a done job's result body.
+func fetchResult(t *testing.T, ts *httptest.Server, id string) string {
+	t.Helper()
+	code, body := getJSON(t, ts.URL+"/v1/runs/"+id+"/result")
+	if code != http.StatusOK {
+		t.Fatalf("result %s: HTTP %d: %s", id, code, body)
+	}
+	return body
+}
+
+// TestStoreServesAcrossRestart is the satellite durability test at the
+// service level: a second daemon over the same disk root answers an
+// identical submission from the store — byte-identical bytes, zero
+// simulations.
+func TestStoreServesAcrossRestart(t *testing.T) {
+	root := t.TempDir()
+	disk1, err := store.NewDisk(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := RunRequest{Apps: []string{"SCP"}, Seed: 7}
+
+	_, ts1, release1, execs1 := newStubServer(t, Options{Workers: 1, Store: disk1})
+	close(release1)
+	code, st, raw := postRun(t, ts1, req)
+	if code != http.StatusAccepted {
+		t.Fatalf("first submit: HTTP %d: %s", code, raw)
+	}
+	waitState(t, ts1, st.ID, JobDone)
+	firstBody := fetchResult(t, ts1, st.ID)
+	if execs1.Load() != 1 {
+		t.Fatalf("first daemon ran %d simulations, want 1", execs1.Load())
+	}
+
+	// "Restart": a fresh Server over the same root.
+	disk2, err := store.NewDisk(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts2, _, execs2 := newStubServer(t, Options{Workers: 1, Store: disk2})
+	code, st2, raw := postRun(t, ts2, req)
+	if code != http.StatusOK || !st2.Cached {
+		t.Fatalf("post-restart submit: HTTP %d cached=%v: %s", code, st2.Cached, raw)
+	}
+	if st2.State != JobDone {
+		t.Fatalf("post-restart job state %s, want done", st2.State)
+	}
+	if got := fetchResult(t, ts2, st2.ID); got != firstBody {
+		t.Errorf("store-served result differs from fresh run:\n%s\nvs\n%s", got, firstBody)
+	}
+	if execs2.Load() != 0 {
+		t.Fatalf("restarted daemon re-simulated %d times, want 0", execs2.Load())
+	}
+
+	_, metricsBody := getJSON(t, ts2.URL+"/metrics")
+	for _, want := range []string{
+		"mosaicd_store_serves_total 1",
+		"mosaicd_store_hits_total 1",
+		"mosaicd_runs_completed_total 0",
+	} {
+		if !strings.Contains(metricsBody, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestCacheLRUBound pins the bounded hot tier: beyond -cache-entries
+// the least-recently-served done job loses its cache entry and its
+// bytes, resubmissions are answered from the store (never re-run), and
+// the original job ID still serves the result via store fall-through.
+func TestCacheLRUBound(t *testing.T) {
+	reqA := RunRequest{Apps: []string{"SCP"}, Seed: 1}
+	reqB := RunRequest{Apps: []string{"SCP"}, Seed: 2}
+
+	_, ts, release, execs := newStubServer(t, Options{Workers: 1, CacheEntries: 1})
+	close(release)
+
+	_, stA, _ := postRun(t, ts, reqA)
+	waitState(t, ts, stA.ID, JobDone)
+	bodyA := fetchResult(t, ts, stA.ID)
+
+	_, stB, _ := postRun(t, ts, reqB)
+	waitState(t, ts, stB.ID, JobDone)
+
+	// B's completion evicted A from the 1-entry hot tier. Resubmitting A
+	// must hit the store, not simulate.
+	code, stA2, raw := postRun(t, ts, reqA)
+	if code != http.StatusOK || !stA2.Cached {
+		t.Fatalf("resubmit after eviction: HTTP %d cached=%v: %s", code, stA2.Cached, raw)
+	}
+	if stA2.ID == stA.ID {
+		t.Fatalf("resubmission reused evicted cache entry %s", stA.ID)
+	}
+	if execs.Load() != 2 {
+		t.Fatalf("%d simulations, want 2 (A and B once each)", execs.Load())
+	}
+
+	// The evicted job's bytes are gone but its ID still resolves through
+	// the store, byte-identically.
+	if got := fetchResult(t, ts, stA.ID); got != bodyA {
+		t.Errorf("store fall-through served different bytes")
+	}
+	if got := fetchResult(t, ts, stA2.ID); got != bodyA {
+		t.Errorf("store-served job bytes differ from original run")
+	}
+
+	_, metricsBody := getJSON(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		"mosaicd_cache_capacity 1",
+		"mosaicd_cache_size 1",
+		"mosaicd_store_serves_total 1",
+	} {
+		if !strings.Contains(metricsBody, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, metricsBody)
+		}
+	}
+	if !strings.Contains(metricsBody, "mosaicd_cache_lru_evictions_total 2") {
+		t.Errorf("/metrics missing lru eviction count:\n%s", metricsBody)
+	}
+}
+
+// TestCacheUnboundedByDefault: CacheEntries 0 keeps every done job hot
+// (the pre-flag behavior) — resubmissions are cache hits on the same
+// job ID.
+func TestCacheUnboundedByDefault(t *testing.T) {
+	_, ts, release, execs := newStubServer(t, Options{Workers: 1})
+	close(release)
+	ids := make([]string, 0, 4)
+	for seed := int64(0); seed < 4; seed++ {
+		_, st, _ := postRun(t, ts, RunRequest{Apps: []string{"SCP"}, Seed: seed})
+		waitState(t, ts, st.ID, JobDone)
+		ids = append(ids, st.ID)
+	}
+	for seed := int64(0); seed < 4; seed++ {
+		code, st, raw := postRun(t, ts, RunRequest{Apps: []string{"SCP"}, Seed: seed})
+		if code != http.StatusOK || !st.Cached || st.ID != ids[seed] {
+			t.Fatalf("seed %d resubmit: HTTP %d cached=%v id=%s want %s: %s",
+				seed, code, st.Cached, st.ID, ids[seed], raw)
+		}
+	}
+	if execs.Load() != 4 {
+		t.Fatalf("%d simulations, want 4", execs.Load())
+	}
+}

@@ -3,6 +3,8 @@
 // not removed or renamed, without a protocol discussion.
 package server
 
+import "encoding/json"
+
 // RunRequest is the body of POST /v1/runs: one simulation to execute.
 // The zero value of every optional field means "the mosaic-sim default"
 // — the server builds the same evaluation configuration the CLI builds
@@ -46,6 +48,97 @@ type RunRequest struct {
 	// default (mosaicd -job-timeout; unbounded unless set). TimeoutMS
 	// is not part of the job's cache identity.
 	TimeoutMS int64 `json:",omitempty"`
+	// Dim/DimValue make the request one cell of a parameter sweep: the
+	// named dimension (the mosaic-sweep -dim registry) is applied at
+	// DimValue on top of every other mutation, then the TLB-way clamp —
+	// exactly the configuration mosaic-sweep builds for that cell, so
+	// the digests (and therefore the cache and store identities) match
+	// a local sweep's. Empty Dim (the default) leaves the configuration
+	// untouched, exactly as before the fields existed.
+	Dim      string `json:",omitempty"`
+	DimValue int    `json:",omitempty"`
+}
+
+// CampaignRequest is the body of POST /v1/campaigns: a whole sweep
+// grid — every (value, policy) cell of Base swept along Dim — submitted
+// as one schedulable unit. The server plans the same cell grid
+// mosaic-sweep plans locally (same ordering: cell i is value i/len(P),
+// policy i%len(P)), answers already-known cells from its cache and
+// store, and enqueues only the rest.
+type CampaignRequest struct {
+	// Base is the request every cell starts from. Its Policy and
+	// Dim/DimValue fields must be empty — the campaign grid supplies
+	// them per cell.
+	Base RunRequest
+	// Policies is the grid's policy axis, in column order. Required.
+	Policies []string
+	// Dim/Values are the swept axis, in row order. An empty Dim with no
+	// Values degenerates to a one-row grid over Policies alone.
+	Dim    string `json:",omitempty"`
+	Values []int  `json:",omitempty"`
+}
+
+// CampaignState is one step of the campaign lifecycle: running until
+// every cell has a terminal event, then done (individual cell failures
+// are counted, not fatal) or canceled.
+type CampaignState string
+
+// Campaign lifecycle states.
+const (
+	CampaignRunning  CampaignState = "running"
+	CampaignDone     CampaignState = "done"
+	CampaignCanceled CampaignState = "canceled"
+)
+
+// Terminal reports whether the campaign state is done or canceled.
+func (s CampaignState) Terminal() bool {
+	return s == CampaignDone || s == CampaignCanceled
+}
+
+// CampaignStatus is the response of POST /v1/campaigns and
+// GET /v1/campaigns/{id}.
+type CampaignStatus struct {
+	// ID addresses the campaign in GET /v1/campaigns/{id}, .../stream,
+	// and .../cancel.
+	ID    string
+	State CampaignState
+	// Cells is the grid size; Done/Failed/Canceled partition the cells
+	// with terminal results so far.
+	Cells    int
+	Done     int
+	Failed   int
+	Canceled int
+	// FromCache/FromStore count cells answered without simulating, from
+	// the in-memory cache and the persistent store respectively.
+	FromCache int
+	FromStore int
+}
+
+// CellEvent is one line of the campaign's NDJSON stream: a cell
+// reaching a terminal state. Events stream in completion order — Index
+// places the cell in the grid (value-major, the mosaic-sweep order) so
+// clients reassemble deterministically. The stream replays from the
+// first event on every (re)connect.
+type CellEvent struct {
+	// Index is the cell's grid position: value index * len(policies) +
+	// policy index.
+	Index int
+	// Workload/Policy/ConfigDigest identify the cell's simulation (the
+	// result identity triple).
+	Workload     string
+	Policy       string
+	ConfigDigest string
+	// DimValue is the cell's swept value (0 when the campaign has no
+	// swept dimension).
+	DimValue int `json:",omitempty"`
+	// State is the cell's terminal state: done, failed, or canceled.
+	State JobState
+	// Cached is set when the cell was answered without simulating.
+	Cached bool `json:",omitempty"`
+	// Error carries the failure message of a failed cell.
+	Error string `json:",omitempty"`
+	// Result is the cell's full Report JSON (done cells only).
+	Result json.RawMessage `json:",omitempty"`
 }
 
 // JobState is one step of the job lifecycle.

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	mrand "math/rand"
 	"net/http"
 	"strings"
 	"time"
@@ -58,6 +59,10 @@ type Client struct {
 	// no deadline of its own (0 = DefaultWaitTimeout; negative =
 	// unbounded). A context deadline always takes precedence.
 	WaitTimeout time.Duration
+	// Jitter overrides the jitter samples (uniform [0, 1)) of Wait's
+	// poll backoff; nil (the default) uses math/rand. Set it only to
+	// make backoff schedules deterministic in tests.
+	Jitter func() float64
 }
 
 // New returns a client for the service at baseURL.
@@ -113,13 +118,42 @@ func (c *Client) Status(ctx context.Context, id string) (server.JobStatus, error
 	return st, nil
 }
 
+// waitBackoffCap bounds Wait's poll spacing: delays double from
+// PollInterval up to here (or to PollInterval itself when it is
+// larger), so a long-running job costs O(log) polls early and a steady
+// ~0.5 Hz after.
+const waitBackoffCap = 2 * time.Second
+
+// pollDelay returns Wait's nth (1-based) inter-poll delay: PollInterval
+// doubling per poll up to waitBackoffCap, jittered uniformly into
+// [base/2, base] by rnd ∈ [0, 1). The first poll happens before any
+// delay, so first-result latency is exactly one PollInterval-free round
+// trip; the jitter desynchronizes the hundreds of waiters a campaign
+// fans out so they never form a poll storm against one daemon.
+func pollDelay(interval time.Duration, n int, rnd float64) time.Duration {
+	cap := waitBackoffCap
+	if interval > cap {
+		cap = interval
+	}
+	base := interval
+	for i := 1; i < n && base < cap; i++ {
+		base *= 2
+	}
+	if base > cap {
+		base = cap
+	}
+	half := base / 2
+	return half + time.Duration(rnd*float64(half))
+}
+
 // Wait polls until the job reaches a terminal state and returns the
 // terminal status. A failed job is reported as an error carrying the
-// job's failure message; a canceled job wraps ErrCanceled. Wait never
-// polls unboundedly: when ctx has no deadline, it applies
-// Client.WaitTimeout (default DefaultWaitTimeout) and reports expiry as
-// ErrTimeout — so a lost job ID or a wedged server surfaces as a typed
-// error instead of a hang.
+// job's failure message; a canceled job wraps ErrCanceled. Polls space
+// out with jittered exponential backoff (PollInterval doubling to
+// ~2s); the first poll is immediate. Wait never polls unboundedly:
+// when ctx has no deadline, it applies Client.WaitTimeout (default
+// DefaultWaitTimeout) and reports expiry as ErrTimeout — so a lost job
+// ID or a wedged server surfaces as a typed error instead of a hang.
 func (c *Client) Wait(ctx context.Context, id string) (server.JobStatus, error) {
 	if _, ok := ctx.Deadline(); !ok && c.WaitTimeout >= 0 {
 		timeout := c.WaitTimeout
@@ -134,9 +168,7 @@ func (c *Client) Wait(ctx context.Context, id string) (server.JobStatus, error) 
 	if interval <= 0 {
 		interval = 200 * time.Millisecond
 	}
-	t := time.NewTicker(interval)
-	defer t.Stop()
-	for {
+	for n := 1; ; n++ {
 		st, err := c.Status(ctx, id)
 		if err != nil {
 			return st, translateCtxErr(ctx, err)
@@ -152,9 +184,18 @@ func (c *Client) Wait(ctx context.Context, id string) (server.JobStatus, error) 
 		select {
 		case <-ctx.Done():
 			return st, typedCtxErr(ctx.Err())
-		case <-t.C:
+		case <-time.After(pollDelay(interval, n, c.rand())):
 		}
 	}
+}
+
+// rand returns one jitter sample in [0, 1): the Jitter hook when set
+// (deterministic tests), math/rand otherwise.
+func (c *Client) rand() float64 {
+	if c.Jitter != nil {
+		return c.Jitter()
+	}
+	return mrand.Float64()
 }
 
 // Cancel asks the service to cancel a queued or running job (POST

@@ -1,0 +1,240 @@
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// entryExt is the extension of live entries; quarantined entries get
+// entryExt + quarantineExt appended and are never listed or served.
+const (
+	entryExt      = ".res"
+	quarantineExt = ".quarantined"
+)
+
+// header is the first line of every disk entry: the identity triple the
+// payload belongs to plus a digest of the payload itself. Reads verify
+// both — the key fields guard against hash collisions and misplaced
+// files, the payload digest against truncation and bit rot.
+type header struct {
+	Workload      string
+	Policy        string
+	ConfigDigest  string
+	PayloadSHA256 string
+	PayloadBytes  int
+}
+
+// Disk is the disk-backed ResultStore: one content-addressed file per
+// result under a root directory, sharded by the first byte of the key
+// hash. Writes are atomic (tmp file + rename into place), reads are
+// digest-verified, and corrupt entries are quarantined — renamed aside,
+// never served — so a partial write or bit rot degrades to a cache miss
+// instead of a wrong result. Multiple processes may share one root:
+// identical keys always carry identical bytes (the simulator is
+// deterministic), so concurrent writers race harmlessly.
+type Disk struct {
+	root string
+	counters
+}
+
+// NewDisk opens (creating if needed) a disk store rooted at dir.
+func NewDisk(dir string) (*Disk, error) {
+	if dir == "" {
+		return nil, errors.New("store: empty root directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating root: %w", err)
+	}
+	return &Disk{root: dir}, nil
+}
+
+// Root returns the store's root directory.
+func (s *Disk) Root() string { return s.root }
+
+// path returns the entry file for key: root/<shard>/<sha256(key)>.res.
+func (s *Disk) path(key Key) string {
+	sum := sha256.Sum256([]byte(key.String()))
+	name := hex.EncodeToString(sum[:])
+	return filepath.Join(s.root, name[:2], name+entryExt)
+}
+
+// Get returns the verified payload for key. A missing entry returns
+// ErrNotFound; a corrupt one (bad header, truncated or altered payload,
+// key mismatch) is quarantined and also reads as ErrNotFound, so the
+// caller re-simulates instead of serving damage.
+func (s *Disk) Get(key Key) ([]byte, error) {
+	s.gets.Add(1)
+	path := s.path(key)
+	payload, err := s.readEntry(path, key)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, ErrNotFound
+		}
+		s.quarantine(path)
+		return nil, ErrNotFound
+	}
+	s.hits.Add(1)
+	return payload, nil
+}
+
+// readEntry reads and fully verifies one entry file against key.
+func (s *Disk) readEntry(path string, key Key) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	line, err := r.ReadBytes('\n')
+	if err != nil {
+		return nil, fmt.Errorf("store: entry %s: truncated header: %w", filepath.Base(path), err)
+	}
+	var h header
+	if err := json.Unmarshal(line, &h); err != nil {
+		return nil, fmt.Errorf("store: entry %s: bad header: %w", filepath.Base(path), err)
+	}
+	if h.Workload != key.Workload || h.Policy != key.Policy || h.ConfigDigest != key.ConfigDigest {
+		return nil, fmt.Errorf("store: entry %s: header names %s/%s/%s, want %s/%s/%s",
+			filepath.Base(path), h.Workload, h.Policy, h.ConfigDigest,
+			key.Workload, key.Policy, key.ConfigDigest)
+	}
+	payload, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(payload) != h.PayloadBytes {
+		return nil, fmt.Errorf("store: entry %s: %d payload bytes, header says %d",
+			filepath.Base(path), len(payload), h.PayloadBytes)
+	}
+	sum := sha256.Sum256(payload)
+	if hex.EncodeToString(sum[:]) != h.PayloadSHA256 {
+		return nil, fmt.Errorf("store: entry %s: payload digest mismatch", filepath.Base(path))
+	}
+	return payload, nil
+}
+
+// quarantine moves a corrupt entry aside (path + ".quarantined") so it
+// is never served again but stays available for inspection. A rename
+// failure falls back to removal — a corrupt entry must not keep
+// resurfacing.
+func (s *Disk) quarantine(path string) {
+	s.quarantined.Add(1)
+	if err := os.Rename(path, path+quarantineExt); err != nil {
+		os.Remove(path)
+	}
+}
+
+// Put stores the payload under key atomically: the entry is assembled
+// in a temp file in the same shard directory, synced, then renamed into
+// place. An existing identical entry makes Put a no-op; an existing
+// divergent entry returns ErrDivergent (an existing corrupt entry is
+// quarantined and overwritten).
+func (s *Disk) Put(key Key, payload []byte) error {
+	if !key.Valid() {
+		return errors.New("store: invalid key (empty component)")
+	}
+	path := s.path(key)
+	if prev, err := s.readEntry(path, key); err == nil {
+		if bytes.Equal(prev, payload) {
+			s.dupPuts.Add(1)
+			return nil
+		}
+		return fmt.Errorf("%w: %s/%s/%s", ErrDivergent, key.Workload, key.Policy, key.ConfigDigest)
+	} else if !errors.Is(err, os.ErrNotExist) {
+		s.quarantine(path)
+	}
+
+	sum := sha256.Sum256(payload)
+	hdr, err := json.Marshal(header{
+		Workload:      key.Workload,
+		Policy:        key.Policy,
+		ConfigDigest:  key.ConfigDigest,
+		PayloadSHA256: hex.EncodeToString(sum[:]),
+		PayloadBytes:  len(payload),
+	})
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("store: creating shard: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, ".put-*")
+	if err != nil {
+		return fmt.Errorf("store: creating temp entry: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op once renamed
+	if _, err := tmp.Write(append(append(hdr, '\n'), payload...)); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: writing entry: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: syncing entry: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: closing entry: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("store: publishing entry: %w", err)
+	}
+	s.puts.Add(1)
+	return nil
+}
+
+// Has reports whether an entry file exists for key. It does not verify
+// the payload — a corrupt entry reads as present until a Get
+// quarantines it; callers that need the bytes should just Get.
+func (s *Disk) Has(key Key) bool {
+	_, err := os.Stat(s.path(key))
+	return err == nil
+}
+
+// List walks the root and returns the identity of every live entry
+// whose header parses, in canonical order. Unreadable entries are
+// skipped (a later Get will quarantine them).
+func (s *Disk) List() ([]Key, error) {
+	var keys []Key
+	err := filepath.WalkDir(s.root, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, entryExt) {
+			return err
+		}
+		f, ferr := os.Open(path)
+		if ferr != nil {
+			return nil
+		}
+		defer f.Close()
+		line, ferr := bufio.NewReader(f).ReadBytes('\n')
+		if ferr != nil {
+			return nil
+		}
+		var h header
+		if json.Unmarshal(line, &h) != nil {
+			return nil
+		}
+		k := Key{Workload: h.Workload, Policy: h.Policy, ConfigDigest: h.ConfigDigest}
+		if k.Valid() {
+			keys = append(keys, k)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("store: listing: %w", err)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].less(keys[j]) })
+	return keys, nil
+}
+
+// Counters snapshots the store's activity counters (per process; a
+// shared root does not aggregate across daemons).
+func (s *Disk) Counters() Counters { return s.snapshot() }

@@ -1,0 +1,297 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func testKey(i int) Key {
+	return Key{Workload: fmt.Sprintf("WL%d", i), Policy: "Mosaic", ConfigDigest: fmt.Sprintf("d%08x", i)}
+}
+
+// stores builds one instance of every implementation for contract tests.
+func stores(t *testing.T) map[string]ResultStore {
+	t.Helper()
+	disk, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]ResultStore{"mem": NewMem(), "disk": disk}
+}
+
+// TestStoreContract pins the ResultStore interface semantics every
+// implementation must share: miss → ErrNotFound, put/get round trip,
+// idempotent identical re-put, ErrDivergent on differing bytes,
+// canonical List order, and counter accounting.
+func TestStoreContract(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			k1, k2 := testKey(1), testKey(2)
+			if _, err := s.Get(k1); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("empty get: %v, want ErrNotFound", err)
+			}
+			if s.Has(k1) {
+				t.Fatal("Has on empty store")
+			}
+
+			payload := []byte(`{"Workload":"WL1","Cycles":123}`)
+			if err := s.Put(k1, payload); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Put(k2, []byte("other")); err != nil {
+				t.Fatal(err)
+			}
+			got, err := s.Get(k1)
+			if err != nil || !bytes.Equal(got, payload) {
+				t.Fatalf("get: %q, %v", got, err)
+			}
+			if !s.Has(k1) {
+				t.Fatal("Has after Put is false")
+			}
+
+			// Identical re-put is a no-op; divergent bytes are an error.
+			if err := s.Put(k1, payload); err != nil {
+				t.Fatalf("identical re-put: %v", err)
+			}
+			if err := s.Put(k1, []byte("DIFFERENT")); !errors.Is(err, ErrDivergent) {
+				t.Fatalf("divergent put: %v, want ErrDivergent", err)
+			}
+			if got, _ := s.Get(k1); !bytes.Equal(got, payload) {
+				t.Fatalf("divergent put mutated entry: %q", got)
+			}
+
+			if err := s.Put(Key{Workload: "x"}, payload); err == nil {
+				t.Fatal("invalid key accepted")
+			}
+
+			keys, err := s.List()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(keys) != 2 || keys[0] != k1 || keys[1] != k2 {
+				t.Fatalf("list: %+v", keys)
+			}
+
+			c := s.Counters()
+			if c.Puts != 2 || c.DupPuts != 1 || c.Hits != 2 || c.Gets != 3 {
+				t.Fatalf("counters: %+v", c)
+			}
+		})
+	}
+}
+
+// TestDiskRestartSurvival is the durability core: a second store opened
+// over the same root (a "restarted daemon") serves every entry the
+// first one wrote, byte-identical, without any re-simulation.
+func TestDiskRestartSurvival(t *testing.T) {
+	root := t.TempDir()
+	s1, err := NewDisk(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20
+	for i := 0; i < n; i++ {
+		if err := s1.Put(testKey(i), []byte(fmt.Sprintf("payload-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s2, err := NewDisk(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		got, err := s2.Get(testKey(i))
+		if err != nil {
+			t.Fatalf("entry %d after reopen: %v", i, err)
+		}
+		if want := fmt.Sprintf("payload-%d", i); string(got) != want {
+			t.Fatalf("entry %d: %q, want %q", i, got, want)
+		}
+	}
+	keys, err := s2.List()
+	if err != nil || len(keys) != n {
+		t.Fatalf("list after reopen: %d keys, %v", len(keys), err)
+	}
+}
+
+// TestDiskQuarantine corrupts entries the ways a crashed writer or bit
+// rot would — truncation, payload damage, header damage — and checks
+// each reads as a miss, is moved aside, and never resurfaces.
+func TestDiskQuarantine(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(path string, t *testing.T)
+	}{
+		{"truncated payload", func(path string, t *testing.T) {
+			fi, err := os.Stat(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.Truncate(path, fi.Size()-4); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"flipped payload byte", func(path string, t *testing.T) {
+			b, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b[len(b)-1] ^= 0xff
+			if err := os.WriteFile(path, b, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"mangled header", func(path string, t *testing.T) {
+			if err := os.WriteFile(path, []byte("not json\nrest"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"empty file", func(path string, t *testing.T) {
+			if err := os.Truncate(path, 0); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := NewDisk(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			k := testKey(7)
+			if err := s.Put(k, []byte("good payload bytes")); err != nil {
+				t.Fatal(err)
+			}
+			tc.corrupt(s.path(k), t)
+
+			if _, err := s.Get(k); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("corrupt get: %v, want ErrNotFound", err)
+			}
+			if s.Counters().Quarantined != 1 {
+				t.Fatalf("quarantined counter: %+v", s.Counters())
+			}
+			if _, err := os.Stat(s.path(k) + quarantineExt); err != nil {
+				t.Fatalf("quarantine file missing: %v", err)
+			}
+			if _, err := os.Stat(s.path(k)); !errors.Is(err, os.ErrNotExist) {
+				t.Fatal("corrupt entry still in place after quarantine")
+			}
+			// The slot is reusable: a fresh Put repairs it.
+			if err := s.Put(k, []byte("good payload bytes")); err != nil {
+				t.Fatalf("put after quarantine: %v", err)
+			}
+			if got, err := s.Get(k); err != nil || string(got) != "good payload bytes" {
+				t.Fatalf("get after repair: %q, %v", got, err)
+			}
+		})
+	}
+}
+
+// TestDiskPutOverCorrupt: a Put that finds a corrupt entry in its slot
+// quarantines it and writes fresh instead of reporting divergence.
+func TestDiskPutOverCorrupt(t *testing.T) {
+	s, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey(3)
+	if err := s.Put(k, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s.path(k), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(k, []byte("payload")); err != nil {
+		t.Fatalf("put over corrupt entry: %v", err)
+	}
+	if got, err := s.Get(k); err != nil || string(got) != "payload" {
+		t.Fatalf("get after repair: %q, %v", got, err)
+	}
+	if s.Counters().Quarantined != 1 {
+		t.Fatalf("counters: %+v", s.Counters())
+	}
+}
+
+// TestConcurrentPutSameKey races many writers of the same key from two
+// Disk handles over one root (two daemons sharing a store). Identical
+// bytes must all succeed; the entry must verify afterwards.
+func TestConcurrentPutSameKey(t *testing.T) {
+	root := t.TempDir()
+	s1, err := NewDisk(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewDisk(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey(9)
+	payload := bytes.Repeat([]byte("deterministic result "), 100)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 40)
+	for i := 0; i < 20; i++ {
+		for _, s := range []*Disk{s1, s2} {
+			wg.Add(1)
+			go func(s *Disk) {
+				defer wg.Done()
+				errs <- s.Put(k, payload)
+			}(s)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatalf("identical concurrent put: %v", err)
+		}
+	}
+	got, err := s1.Get(k)
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("get after races: %d bytes, %v", len(got), err)
+	}
+
+	// Divergent bytes from a third writer are rejected, not merged.
+	if err := s2.Put(k, []byte("divergent")); !errors.Is(err, ErrDivergent) {
+		t.Fatalf("divergent put after races: %v", err)
+	}
+}
+
+// TestDiskSharding: entries land under two-hex-character shard
+// directories, and quarantined files are excluded from List.
+func TestDiskSharding(t *testing.T) {
+	s, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := s.Put(testKey(i), []byte("p")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rel, err := filepath.Rel(s.Root(), s.path(testKey(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := strings.Split(rel, string(filepath.Separator))
+	if len(parts) != 2 || len(parts[0]) != 2 {
+		t.Fatalf("entry path %q not sharded", rel)
+	}
+
+	// Corrupt one entry, trip its quarantine, and List must drop to 9.
+	if err := os.Truncate(s.path(testKey(4)), 1); err != nil {
+		t.Fatal(err)
+	}
+	s.Get(testKey(4))
+	keys, err := s.List()
+	if err != nil || len(keys) != 9 {
+		t.Fatalf("list after quarantine: %d keys, %v", len(keys), err)
+	}
+}

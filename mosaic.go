@@ -37,6 +37,7 @@ import (
 	"repro/internal/server"
 	"repro/internal/serviceclient"
 	"repro/internal/sim"
+	"repro/internal/store"
 	"repro/internal/tlb"
 	"repro/internal/trace"
 	"repro/internal/walker"
@@ -372,6 +373,56 @@ func NewService(opt ServiceOptions) *Service { return server.New(opt) }
 
 // NewServiceClient returns a client for the mosaicd instance at baseURL.
 func NewServiceClient(baseURL string) *ServiceClient { return serviceclient.New(baseURL) }
+
+// Campaign layer (POST /v1/campaigns): a whole sweep grid as one
+// schedulable unit, streamed back cell by cell. A campaign submitted to
+// a mosaicd worker runs locally; submitted to a mosaicd -coordinator it
+// fans out across a fleet. See docs/SERVICE.md.
+type (
+	// CampaignRequest is a sweep grid: a base request crossed with a
+	// policy axis and an optional (dimension, values) axis.
+	CampaignRequest = server.CampaignRequest
+	// CampaignStatus reports a campaign's lifecycle state and cell
+	// counts.
+	CampaignStatus = server.CampaignStatus
+	// CellEvent is one cell's terminal event on the campaign stream,
+	// carrying the full result report on success.
+	CellEvent = server.CellEvent
+)
+
+// Persistent result store: the durable tier under a daemon's in-memory
+// cache, keyed by the (workload, policy, config digest) identity triple
+// of docs/RESULTS_SCHEMA.md. Daemons pointed at one disk root share
+// results; see docs/SERVICE.md for the on-disk format.
+type (
+	// ResultStore is the pluggable persistence interface
+	// (mosaicd -store).
+	ResultStore = store.ResultStore
+	// ResultKey is the identity triple a stored result files under.
+	ResultKey = store.Key
+	// MemStore is the process-local in-memory store (the default).
+	MemStore = store.Mem
+	// DiskStore is the content-addressed on-disk store daemons share.
+	DiskStore = store.Disk
+)
+
+// NewMemStore returns an empty in-memory result store.
+func NewMemStore() *MemStore { return store.NewMem() }
+
+// NewDiskStore opens (creating if needed) a disk-backed result store
+// rooted at dir.
+func NewDiskStore(dir string) (*DiskStore, error) { return store.NewDisk(dir) }
+
+// RunStoreKey resolves the store identity a daemon with the default
+// base configuration would file this request's result under, without
+// running anything — the hook for prewarming a store from local runs
+// (mosaic-sim -record-store).
+func RunStoreKey(req RunRequest) (ResultKey, error) { return server.StoreKey(nil, req) }
+
+// RunRecordPayload serializes a run record exactly as daemons persist
+// results, so prewarmed entries are byte-identical to daemon-written
+// ones.
+func RunRecordPayload(rec RunRecord) ([]byte, error) { return server.RecordPayload(rec) }
 
 // TraceEvent is one recorded memory-management event (far-fault, walk,
 // coalesce, splinter, compaction, migration, alloc, free). Enable
