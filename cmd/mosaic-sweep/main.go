@@ -40,6 +40,7 @@ func main() {
 		nopaging  = flag.Bool("nopaging", false, "disable demand paging")
 		listDims  = flag.Bool("dims", false, "list sweepable dimensions and exit")
 		jobs      = flag.Int("jobs", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = sequential); output is identical for every value")
+		shards    = flag.Int("shards", 0, "shard each simulation's cycle loop across this many concurrent per-SM shards (composes with -jobs; output is identical for every value; 0/1 = sequential)")
 		snapWarm  = flag.Uint64("snapshot-warmup", 0, "amortize warmup across cells: run each policy's warmup prefix of this many cycles once, snapshot it, and fork it per swept value (TLB dimensions only; 0 = off; changes the config digests)")
 		snapCold  = flag.Bool("snapshot-cold", false, "with -snapshot-warmup: run each cell's two-phase plan cold instead of forking the shared snapshot; output must be byte-identical to the forked run (the determinism comparison arm)")
 		serverURL = flag.String("server", "", "submit the grid as one campaign to this mosaicd or coordinator URL instead of simulating locally (see docs/SERVICE.md)")
@@ -119,14 +120,14 @@ func main() {
 			os.Exit(1)
 		}
 		recs = runCampaign(*serverURL, mosaic.CampaignRequest{
-			Base:     mosaic.RunRequest{Apps: appNames, Seed: *seed, NoPaging: *nopaging},
+			Base:     mosaic.RunRequest{Apps: appNames, Seed: *seed, NoPaging: *nopaging, Shards: *shards},
 			Policies: wireNames,
 			Dim:      *dim,
 			Values:   vals,
 		})
 	} else {
 		recs = runLocal(d, wl, pols, vals, localOptions{
-			seed: *seed, nopaging: *nopaging, jobs: *jobs,
+			seed: *seed, nopaging: *nopaging, jobs: *jobs, shards: *shards,
 			warmup: *snapWarm, cold: *snapCold, dimName: *dim,
 		})
 	}
@@ -226,6 +227,7 @@ type localOptions struct {
 	seed     int64
 	nopaging bool
 	jobs     int
+	shards   int
 	warmup   uint64
 	cold     bool
 	dimName  string
@@ -282,7 +284,7 @@ func runLocal(d harness.SweepDim, wl mosaic.Workload, pols []mosaic.Policy, vals
 			pi := pi
 			r.Submit(func() {
 				s, err := mosaic.NewSimulator(baseCfg, wl,
-					mosaic.SimOptions{Policy: pols[pi], Seed: opt.seed, SnapshotWarmup: warmup})
+					mosaic.SimOptions{Policy: pols[pi], Seed: opt.seed, SnapshotWarmup: warmup, Shards: opt.shards})
 				if err == nil {
 					err = s.RunWarmup()
 				}
@@ -312,7 +314,7 @@ func runLocal(d harness.SweepDim, wl mosaic.Workload, pols []mosaic.Policy, vals
 					s = snaps[i%len(pols)].Fork()
 				} else {
 					s, err = mosaic.NewSimulator(baseCfg, wl,
-						mosaic.SimOptions{Policy: pol, Seed: opt.seed, SnapshotWarmup: warmup})
+						mosaic.SimOptions{Policy: pol, Seed: opt.seed, SnapshotWarmup: warmup, Shards: opt.shards})
 					if err == nil {
 						err = s.RunWarmup()
 					}
@@ -327,7 +329,7 @@ func runLocal(d harness.SweepDim, wl mosaic.Workload, pols []mosaic.Policy, vals
 				cells[i] = cell{res: res, err: err}
 				return
 			}
-			res, err := mosaic.Run(cellCfg(v), wl, mosaic.SimOptions{Policy: pol, Seed: opt.seed})
+			res, err := mosaic.Run(cellCfg(v), wl, mosaic.SimOptions{Policy: pol, Seed: opt.seed, Shards: opt.shards})
 			cells[i] = cell{res: res, err: err}
 		})
 	}

@@ -76,6 +76,7 @@ func main() {
 		workers      = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
 		queue        = flag.Int("queue", 64, "job queue bound; submissions beyond it get 429")
 		storeDir     = flag.String("store", "", "persist results in the on-disk store rooted at this directory (shared across restarts and daemons; empty = in-memory only)")
+		quarKeep     = flag.Int("store-quarantine-keep", store.DefaultQuarantineKeep, "with -store: keep at most this many quarantined (corrupt) files per shard directory, pruning oldest first (negative = unlimited)")
 		cacheEntries = flag.Int("cache-entries", 0, "bound the in-memory cache of completed results to this many entries, evicting least-recently-served (0 = unbounded)")
 		coordWorkers = flag.String("coordinator", "", "run as a campaign coordinator over this comma-separated list of worker mosaicd URLs instead of simulating (simulation flags are ignored)")
 		drainTimeout = flag.Duration("drain-timeout", 5*time.Minute, "max time to finish in-flight runs on shutdown (0 = unbounded)")
@@ -101,8 +102,9 @@ func main() {
 		if err != nil {
 			log.Fatalf("opening result store: %v", err)
 		}
+		disk.SetQuarantineKeep(*quarKeep)
 		resultStore = disk
-		log.Printf("result store at %s", *storeDir)
+		log.Printf("result store at %s (quarantine keep %d)", *storeDir, *quarKeep)
 	}
 
 	svc := server.New(server.Options{

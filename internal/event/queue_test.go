@@ -256,3 +256,29 @@ func join(ss []string) string {
 	}
 	return out
 }
+
+// TestSeqCountsEverySchedule pins Seq as a determinism probe: it counts
+// every Schedule call (heap and same-cycle FIFO paths alike), survives
+// RunDue, and CloneEmpty continues it — so two engine variants that
+// scheduled the same event stream always finish with equal Seq.
+func TestSeqCountsEverySchedule(t *testing.T) {
+	q := &Queue{}
+	if q.Seq() != 0 {
+		t.Fatalf("fresh queue Seq = %d, want 0", q.Seq())
+	}
+	q.Schedule(5, func(uint64) {})
+	q.Schedule(3, func(uint64) {})
+	if q.Seq() != 2 {
+		t.Fatalf("Seq = %d after 2 schedules, want 2", q.Seq())
+	}
+	// A callback scheduling same-cycle work uses the FIFO fast path —
+	// it must count too.
+	q.Schedule(7, func(c uint64) { q.Schedule(c, func(uint64) {}) })
+	q.RunDue(7)
+	if q.Seq() != 4 {
+		t.Fatalf("Seq = %d after drain with one same-cycle schedule, want 4", q.Seq())
+	}
+	if c := q.CloneEmpty(); c.Seq() != q.Seq() {
+		t.Fatalf("CloneEmpty Seq = %d, want %d", c.Seq(), q.Seq())
+	}
+}

@@ -1,0 +1,76 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/testutil"
+)
+
+// matrixBytes runs one cell of the execution-knob matrix — a fixed set
+// of experiments under the given Jobs and Shards settings — and returns
+// the serialized figures (the exported representation CI diffs). The
+// experiment set crosses the remaining matrix axes:
+//
+//   - demand-paged oversubscription at 1.2x and 2x (the Oversub figure),
+//   - a TLB sweep forked from a warmed snapshot (snapshot-fork on),
+//   - the same TLB sweep single-phase with unbounded residency
+//     (snapshot-fork off, no oversubscription).
+func matrixBytes(t *testing.T, jobs, shards int) []byte {
+	t.Helper()
+	var out bytes.Buffer
+	collect := func(h *Harness, id string, body func() metrics.Table) {
+		fig := h.CollectFigure(id, body)
+		b, err := json.Marshal(fig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out.Write(b)
+		out.WriteByte('\n')
+	}
+
+	ho := tiny(t)
+	ho.AppNames = []string{"CONS", "NW"}
+	ho.Jobs = jobs
+	ho.Shards = shards
+	collect(ho, "oversub", func() metrics.Table { return ho.Oversub(1.2, 2).Table })
+
+	hf := sweepHarness(t, jobs, 10_000, false)
+	hf.Shards = shards
+	collect(hf, "fig14a", func() metrics.Table { return hf.Fig14L1(2, 16, 128).Table })
+
+	hp := sweepHarness(t, jobs, 0, false)
+	hp.Shards = shards
+	collect(hp, "fig14a", func() metrics.Table { return hp.Fig14L1(2, 16, 128).Table })
+
+	return out.Bytes()
+}
+
+// TestShardJobsMatrixByteIdentical is the tentpole's acceptance matrix:
+// every {Shards} × {Jobs} combination — crossed with snapshot-fork
+// on/off and oversubscribed/unbounded residency inside matrixBytes —
+// produces byte-identical serialized records to the sequential
+// Jobs=1/Shards=1 baseline, and leaks no goroutines. Shards=8 exceeds
+// the tiny config's 6 SMs, so the clamp path is part of the matrix.
+func TestShardJobsMatrixByteIdentical(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	baseline := matrixBytes(t, 1, 1)
+	for _, jobs := range []int{1, 8} {
+		for _, shards := range []int{1, 2, 8} {
+			if jobs == 1 && shards == 1 {
+				continue
+			}
+			jobs, shards := jobs, shards
+			t.Run(fmt.Sprintf("jobs=%d_shards=%d", jobs, shards), func(t *testing.T) {
+				testutil.CheckGoroutines(t)
+				got := matrixBytes(t, jobs, shards)
+				if !bytes.Equal(got, baseline) {
+					t.Errorf("records differ from Jobs=1/Shards=1 baseline:\ngot:\n%s\nwant:\n%s", got, baseline)
+				}
+			})
+		}
+	}
+}

@@ -52,6 +52,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"mosaicd_store_puts_total", "Results persisted to the store.", "counter", strconv.FormatUint(sc.Puts, 10)},
 		{"mosaicd_store_dup_puts_total", "Identical re-puts deduplicated by the store.", "counter", strconv.FormatUint(sc.DupPuts, 10)},
 		{"mosaicd_store_quarantined_total", "Corrupt store entries quarantined instead of served.", "counter", strconv.FormatUint(sc.Quarantined, 10)},
+		{"mosaicd_store_quarantine_pruned_total", "Quarantined files deleted by the per-shard retention bound.", "counter", strconv.FormatUint(sc.QuarantinePruned, 10)},
 		{"mosaicd_campaigns_total", "Campaigns accepted.", "counter", strconv.FormatUint(s.campaignsTotal.Load(), 10)},
 		{"mosaicd_campaigns_active", "Campaigns currently running.", "gauge", strconv.FormatInt(s.campaignsActive.Load(), 10)},
 		{"mosaicd_campaign_cells_total", "Cells across all accepted campaigns.", "counter", strconv.FormatUint(s.campaignCells.Load(), 10)},

@@ -3,6 +3,7 @@ package serviceclient
 import (
 	"context"
 	"encoding/json"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"sync/atomic"
@@ -46,6 +47,49 @@ func TestPollDelaySchedule(t *testing.T) {
 	// Delays never collapse to zero, even for absurd inputs.
 	if got := pollDelay(time.Nanosecond, 60, 0); got <= 0 || got > waitBackoffCap {
 		t.Errorf("pollDelay(1ns, n=60) = %v out of range", got)
+	}
+}
+
+// TestPollDelayDegenerateInputs pins the hardening contract: pollDelay
+// must return promptly and within its documented ceiling —
+// max(waitBackoffCap, interval) — for any (interval, n), including the
+// inputs that used to make the doubling loop iterate n−1 times (a
+// non-positive interval can never reach the cap by doubling, and a huge
+// n would overflow base along the way).
+func TestPollDelayDegenerateInputs(t *testing.T) {
+	cases := []struct {
+		name     string
+		interval time.Duration
+		n        int
+	}{
+		{"zero interval, huge n", 0, math.MaxInt},
+		{"negative interval, huge n", -time.Second, math.MaxInt},
+		{"tiny interval, huge n", time.Nanosecond, math.MaxInt},
+		{"near-overflow interval", math.MaxInt64 / 2, 64},
+		{"zero interval, n=1", 0, 1},
+		{"huge n at default interval", 200 * time.Millisecond, 1 << 40},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ceiling := waitBackoffCap
+			if tc.interval > ceiling {
+				ceiling = tc.interval
+			}
+			start := time.Now()
+			for _, rnd := range []float64{0, 0.5, 0.999999} {
+				got := pollDelay(tc.interval, tc.n, rnd)
+				if got <= 0 || got > ceiling {
+					t.Errorf("pollDelay(%v, %d, %v) = %v, want in (0, %v]",
+						tc.interval, tc.n, rnd, got, ceiling)
+				}
+			}
+			// "Promptly" means a bounded number of doubling steps, not n
+			// iterations: even math.MaxInt must compute in well under a
+			// second.
+			if took := time.Since(start); took > time.Second {
+				t.Errorf("pollDelay(%v, %d) took %v to compute", tc.interval, tc.n, took)
+			}
+		})
 	}
 }
 

@@ -130,17 +130,28 @@ const waitBackoffCap = 2 * time.Second
 // delay, so first-result latency is exactly one PollInterval-free round
 // trip; the jitter desynchronizes the hundreds of waiters a campaign
 // fans out so they never form a poll storm against one daemon.
+//
+// The returned delay never exceeds max(waitBackoffCap, interval) — the
+// documented ceiling — and the function terminates in O(log(cap /
+// interval)) steps for every input: a non-positive interval (which
+// could never reach the cap by doubling) snaps straight to the cap, and
+// the doubling stops the step before it would pass (or overflow past)
+// the cap, so a huge n costs no extra iterations.
 func pollDelay(interval time.Duration, n int, rnd float64) time.Duration {
 	cap := waitBackoffCap
 	if interval > cap {
 		cap = interval
 	}
+	if interval <= 0 {
+		interval = cap
+	}
 	base := interval
 	for i := 1; i < n && base < cap; i++ {
+		if base > cap/2 {
+			base = cap
+			break
+		}
 		base *= 2
-	}
-	if base > cap {
-		base = cap
 	}
 	half := base / 2
 	return half + time.Duration(rnd*float64(half))

@@ -1,0 +1,275 @@
+package sim
+
+// Sharded cycle loop: deterministic intra-run parallelism across SMs.
+//
+// The sequential loop in runUntil interleaves two kinds of work each
+// cycle: per-SM scheduling (pick a warp, retire a compute instruction,
+// pull the next burst from the warp's access stream) and shared-memory-
+// system traffic (L1/L2 TLB lookups, page walks, cache and DRAM
+// accesses, pager residency). Only the first kind is embarrassingly
+// parallel — the shared path is a web of single-owner structures whose
+// event order *is* the determinism contract.
+//
+// So a sharded run splits every cycle into two phases:
+//
+//   - Phase A (parallel): the SMs are partitioned into contiguous
+//     index ranges, one shard per worker. Each shard performs, for each
+//     of its live SMs, exactly the warp-local half of issueSM/issueWarp:
+//     promote due wake-ups, pick the GTO warp, retire compute
+//     instructions, pull the next memory burst from the warp's private
+//     StreamGen, and translate working-set offsets to virtual addresses
+//     (appRun.buffers is immutable during a run). Everything that would
+//     touch shared state — finishWarp's app/liveApps accounting and the
+//     entire memInstr path — is buffered as an issueAct instead of
+//     executed.
+//
+//   - Phase B (sequential): the coordinator goroutine replays the
+//     buffered actions in SM-index order by calling the *same*
+//     finishWarp/memInstr the sequential loop calls. Since phase A
+//     touches only state owned by the issuing SM, and the sequential
+//     loop's cross-SM interactions all flow through the shared memory
+//     system, the replay reproduces the sequential cycle's effects —
+//     including event-queue (cycle, seq) assignment — exactly.
+//
+// Epoch barriers are one cycle wide: workers park between cycles and
+// the coordinator runs RunDue, phase B, the clock increment, and idle
+// fast-forward alone, so the event queue, manager, pager, DRAM, bus,
+// and TLB shootdowns all remain single-goroutine. The barrier is a
+// phase-counter/remaining-count pair built on sync/atomic: the release
+// store of the phase counter publishes the coordinator's writes to the
+// workers, and the workers' final decrement publishes their shard's
+// writes back — no locks on the hot path, and the race detector models
+// both edges. Results are byte-identical to the sequential loop at
+// every shard count; TestShardDeterminism and the harness matrix test
+// pin that, and the goldens (which run with Shards unset) never move.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/vmem"
+)
+
+// maxLanes is the widest memory burst a warp issues in one instruction
+// (issueWarp's lane buffer size).
+const maxLanes = 8
+
+// issueAct is one buffered issue decision from phase A: either a warp
+// that exhausted its stream (n == actFinish) or a memory instruction
+// with n lane addresses, to be applied by the coordinator in phase B.
+type issueAct struct {
+	m  *sm
+	w  *warp
+	n  int
+	va [maxLanes]vmem.VirtAddr
+}
+
+// actFinish marks an issueAct that retires its warp via finishWarp.
+const actFinish = -1
+
+// shardState is one worker's slice of the machine: a contiguous run of
+// SM indices plus the action buffer it refills each cycle. The buffer
+// is reused across cycles, so steady-state phase A allocates nothing.
+type shardState struct {
+	sms      []*sm
+	acts     []issueAct
+	issued   bool
+	panicked any
+}
+
+// step runs phase A for one cycle: for each live SM, promote wake-ups,
+// pick the GTO warp, and perform the warp-local half of the issue,
+// buffering every shared-memory-system action. It mirrors
+// issueSM/issueWarp line for line; the two must not drift.
+func (sh *shardState) step(cycle uint64) {
+	sh.acts = sh.acts[:0]
+	sh.issued = false
+	for _, m := range sh.sms {
+		if m.live == 0 {
+			continue
+		}
+		m.drainBefore(cycle + 1)
+		idx := m.lastIdx
+		if !m.issuable(idx) {
+			idx = m.firstIssuable()
+			if idx < 0 {
+				continue
+			}
+			m.lastIdx = idx
+		}
+		sh.issued = true
+		w := m.warps[idx]
+		if w.computeLeft > 0 {
+			w.computeLeft--
+			w.retired++
+			m.clearIssuable(w.idx)
+			m.wakeAdd(w.idx, cycle+1)
+			continue
+		}
+		var buf [maxLanes]uint64
+		n := w.gen.Next(buf[:])
+		if n == 0 {
+			sh.acts = append(sh.acts, issueAct{m: m, w: w, n: actFinish})
+			continue
+		}
+		w.state = warpBlocked
+		m.clearIssuable(w.idx)
+		w.outstanding = n
+		act := issueAct{m: m, w: w, n: n}
+		for i := 0; i < n; i++ {
+			act.va[i] = m.app.addrOf(buf[i])
+		}
+		sh.acts = append(sh.acts, act)
+	}
+}
+
+// stepRecover runs step with panics captured into sh.panicked, so a
+// fault in a worker goroutine re-raises on the coordinator — where
+// Run's callers (e.g. mosaicd's worker-panic recovery) expect
+// simulation panics to surface — instead of crashing the process.
+func (sh *shardState) stepRecover(cycle uint64) {
+	defer func() { sh.panicked = recover() }()
+	sh.panicked = nil
+	sh.step(cycle)
+}
+
+// shardEngine coordinates one sharded runUntil: the shard partition,
+// the worker goroutines for shards 1..n-1 (the coordinator steps shard
+// 0 inline), and the epoch barrier. Workers live only for the duration
+// of one runUntil call — Snapshot, Fork, and Results never observe
+// them.
+type shardEngine struct {
+	shards []*shardState
+
+	// phase releases an epoch: workers step when they observe it advance.
+	// cycle and stop are plain fields published by phase's release store.
+	phase     atomic.Uint64
+	remaining atomic.Int64
+	cycle     uint64
+	stop      bool
+	wg        sync.WaitGroup
+}
+
+// barrierSpins bounds busy-waiting at the epoch barrier before yielding
+// the processor; on machines with fewer cores than shards the yield is
+// what lets the other side run at all.
+const barrierSpins = 64
+
+// newShardEngine partitions the SMs into n contiguous, near-equal
+// shards. Contiguity keeps each shard's phase-B actions already in
+// SM-index order, so the coordinator replays shard 0's buffer, then
+// shard 1's, and so on.
+func newShardEngine(sms []*sm, n int) *shardEngine {
+	e := &shardEngine{}
+	for i := 0; i < n; i++ {
+		lo, hi := i*len(sms)/n, (i+1)*len(sms)/n
+		e.shards = append(e.shards, &shardState{sms: sms[lo:hi]})
+	}
+	return e
+}
+
+// startWorkers launches one goroutine per non-coordinator shard.
+func (e *shardEngine) startWorkers() {
+	for _, sh := range e.shards[1:] {
+		e.wg.Add(1)
+		go e.worker(sh)
+	}
+}
+
+// stopWorkers releases the workers one last time with stop set and
+// joins them. Safe whether the loop exited normally, with an error, or
+// by panic (it runs deferred), so sharded runs never leak goroutines.
+func (e *shardEngine) stopWorkers() {
+	e.stop = true
+	e.phase.Add(1)
+	e.wg.Wait()
+}
+
+// worker parks at the barrier until the coordinator advances the phase
+// counter, steps its shard for the published cycle, and reports in by
+// decrementing remaining.
+func (e *shardEngine) worker(sh *shardState) {
+	defer e.wg.Done()
+	var last uint64
+	for {
+		for spins := 0; ; spins++ {
+			if p := e.phase.Load(); p != last {
+				last = p
+				break
+			}
+			if spins >= barrierSpins {
+				runtime.Gosched()
+			}
+		}
+		if e.stop {
+			return
+		}
+		sh.stepRecover(e.cycle)
+		e.remaining.Add(-1)
+	}
+}
+
+// stepAll runs one epoch's phase A: publish the cycle, release the
+// workers, step shard 0 on the coordinator, and join. On return every
+// shard's action buffer is complete and visible to the coordinator.
+func (e *shardEngine) stepAll(cycle uint64) {
+	e.cycle = cycle
+	e.remaining.Store(int64(len(e.shards) - 1))
+	e.phase.Add(1)
+	e.shards[0].stepRecover(cycle)
+	for spins := 0; e.remaining.Load() != 0; spins++ {
+		if spins >= barrierSpins {
+			runtime.Gosched()
+		}
+	}
+	for _, sh := range e.shards {
+		if p := sh.panicked; p != nil {
+			panic(p)
+		}
+	}
+}
+
+// runSharded is runUntil's sharded form: the same loop with the per-SM
+// issue pass split into parallel phase A and in-order phase B. Every
+// shared-state touch — RunDue, finishWarp, memInstr, the clock, idle
+// fast-forward — stays on this goroutine, in the sequential loop's
+// exact order, which is what makes the output byte-identical.
+func (s *Simulator) runSharded(nshards int, bound uint64) error {
+	eng := newShardEngine(s.sms, nshards)
+	eng.startWorkers()
+	defer eng.stopWorkers()
+
+	for s.liveApps > 0 && s.cycle < bound {
+		s.q.RunDue(s.cycle)
+
+		issued := false
+		if s.cycle >= s.mgr.StallUntil() {
+			eng.stepAll(s.cycle)
+			for _, sh := range eng.shards {
+				if sh.issued {
+					issued = true
+				}
+				for i := range sh.acts {
+					a := &sh.acts[i]
+					if a.n == actFinish {
+						s.finishWarp(a.m, a.w)
+						continue
+					}
+					for l := 0; l < a.n; l++ {
+						s.memInstr(a.m, a.w, a.va[l])
+					}
+				}
+			}
+		}
+
+		s.cycle++
+		if issued {
+			continue
+		}
+		if err := s.fastForward(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,50 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// BenchmarkShardedThroughput measures end-to-end simulation throughput
+// of the sharded cycle loop at increasing shard counts on a 16-SM
+// machine (two 8-SM applications). The shards=1 arm is the sequential
+// baseline; the multi-shard arms show the wall-clock win, which scales
+// with GOMAXPROCS — on a single-core host the arms collapse to (slightly
+// below) the baseline, since phase A then runs time-sliced. Recorded in
+// BENCH_simcore.json with the measuring host's core count.
+func BenchmarkShardedThroughput(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			cfg := config.FastTest()
+			cfg.NumSMs = 16
+			cfg.MaxWarpInstructions = 768
+			hs, err := workload.ByName("HS")
+			if err != nil {
+				b.Fatal(err)
+			}
+			cons, err := workload.ByName("CONS")
+			if err != nil {
+				b.Fatal(err)
+			}
+			wl := workload.Workload{Name: "HS,CONS", Apps: []workload.Spec{hs, cons}}
+			b.ResetTimer()
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				s, err := New(cfg, wl, Options{Policy: core.Mosaic, Seed: 1, Shards: shards})
+				if err != nil {
+					b.Fatal(err)
+				}
+				r, err := s.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles += r.Cycles
+			}
+			b.ReportMetric(float64(cycles)/float64(b.N), "cycles/run")
+		})
+	}
+}

@@ -1,0 +1,92 @@
+package sim
+
+// White-box shard checks: the event-sequence stream (not just the final
+// Results) must be identical between the sequential and sharded loops,
+// and the shard partition must cover the SMs exactly once.
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// shardRun builds and runs one BFS2 simulation at the given shard count,
+// returning the finished simulator for internal inspection.
+func shardRun(t *testing.T, shards int) *Simulator {
+	t.Helper()
+	cfg := config.FastTest()
+	cfg.MaxWarpInstructions = 256
+	spec, err := workload.ByName("BFS2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := workload.Workload{Name: "BFS2", Apps: []workload.Spec{spec}}
+	s, err := New(cfg, wl, Options{Policy: core.Mosaic, Seed: 3, Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestShardEventSeqIdentical asserts the strongest internal invariant:
+// a sharded run schedules exactly the same number of events — i.e. the
+// same (cycle, seq) stream, since results and cycles match too — as the
+// sequential run.
+func TestShardEventSeqIdentical(t *testing.T) {
+	s1 := shardRun(t, 1)
+	for _, n := range []int{2, 3, 6} {
+		sn := shardRun(t, n)
+		if got, want := sn.q.Seq(), s1.q.Seq(); got != want {
+			t.Errorf("Shards=%d scheduled %d events, sequential scheduled %d", n, got, want)
+		}
+		if got, want := sn.cycle, s1.cycle; got != want {
+			t.Errorf("Shards=%d finished at cycle %d, sequential at %d", n, got, want)
+		}
+	}
+}
+
+// TestShardPartition pins the contiguous near-equal partition: every SM
+// appears in exactly one shard, in index order across shards.
+func TestShardPartition(t *testing.T) {
+	sms := make([]*sm, 10)
+	for i := range sms {
+		sms[i] = &sm{id: i}
+	}
+	for _, n := range []int{2, 3, 10} {
+		e := newShardEngine(sms, n)
+		if len(e.shards) != n {
+			t.Fatalf("n=%d: %d shards", n, len(e.shards))
+		}
+		idx := 0
+		for _, sh := range e.shards {
+			for _, m := range sh.sms {
+				if m.id != idx {
+					t.Fatalf("n=%d: shard order broken at SM %d (want %d)", n, m.id, idx)
+				}
+				idx++
+			}
+		}
+		if idx != len(sms) {
+			t.Fatalf("n=%d: partition covers %d of %d SMs", n, idx, len(sms))
+		}
+	}
+}
+
+// TestEffectiveShards pins the clamp: below 2 (or on machines with one
+// SM) the sequential loop runs; above the SM count one shard per SM.
+func TestEffectiveShards(t *testing.T) {
+	s := &Simulator{sms: make([]*sm, 6)}
+	for _, tc := range []struct{ in, want int }{
+		{0, 1}, {1, 1}, {-3, 1}, {2, 2}, {6, 6}, {7, 6}, {64, 6},
+	} {
+		s.opt.Shards = tc.in
+		if got := s.effectiveShards(); got != tc.want {
+			t.Errorf("effectiveShards(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package sim_test
+
+// Shard determinism suite: the sharded cycle loop (Options.Shards) must
+// produce RunRecords byte-identical to the sequential loop at every
+// shard count — across policies, oversubscribed residency, and
+// snapshot-fork two-phase plans — and the ConfigDigest must not move
+// (Shards is an execution knob, exempt from the digest). CI runs this
+// package under -race, which also exercises the phase A/B barrier for
+// data races.
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// runWithShards executes one single-phase run at the given shard count.
+func runWithShards(t *testing.T, cfg config.Config, wl workload.Workload, opt sim.Options, shards int) sim.Results {
+	t.Helper()
+	opt.Shards = shards
+	s, err := sim.New(cfg, wl, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestShardDeterminism is the tentpole gate: across all four policies
+// and unbounded (1x) vs oversubscribed (2x) residency, runs at Shards
+// 2, 4, and 8 must match the sequential run byte for byte at RunRecord
+// granularity, on a 12-SM machine so every shard count lands a
+// non-trivial partition.
+func TestShardDeterminism(t *testing.T) {
+	policies := []struct {
+		p    core.Policy
+		slug string
+	}{
+		{core.GPUMMU4K, "gpummu4k"},
+		{core.GPUMMU2M, "gpummu2m"},
+		{core.Mosaic, "mosaic"},
+		{core.IdealTLB, "ideal"},
+	}
+	for _, oversub := range []struct {
+		ratio float64
+		slug  string
+	}{
+		{0, "1x"},
+		{2, "2x"},
+	} {
+		for _, pol := range policies {
+			t.Run(oversub.slug+"-"+pol.slug, func(t *testing.T) {
+				base := config.FastTest()
+				base.NumSMs = 12
+				base.MaxWarpInstructions = 512
+				wl := mixWorkload(t, "SWP-S", "SWP-D")
+				if oversub.ratio > 0 {
+					base.MaxResidentPages = workload.ResidentBudget(base, wl, oversub.ratio)
+				}
+				opt := sim.Options{Policy: pol.p, Seed: 21}
+
+				seq := runWithShards(t, base, wl, opt, 1)
+				want := recordBytes(t, seq)
+				for _, n := range []int{2, 4, 8} {
+					got := runWithShards(t, base, wl, opt, n)
+					if gb := recordBytes(t, got); !bytes.Equal(want, gb) {
+						t.Errorf("Shards=%d RunRecord deviates from sequential\nsequential:\n%s\nsharded:\n%s", n, want, gb)
+					}
+					if got.ConfigDigest != seq.ConfigDigest {
+						t.Errorf("Shards=%d changed ConfigDigest: %s != %s (Shards must be digest-exempt)",
+							n, got.ConfigDigest, seq.ConfigDigest)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestShardedTwoPhaseMatchesSequential crosses sharding with the
+// snapshot layer: a two-phase plan whose warmup *and* measured
+// remainder run sharded — both cold and via Snapshot/Fork — must equal
+// the fully sequential cold run of the same plan.
+func TestShardedTwoPhaseMatchesSequential(t *testing.T) {
+	base := config.FastTest()
+	base.MaxWarpInstructions = 512
+	wl := mixWorkload(t, "HS", "CONS")
+	cell := tlbCell(base)
+	opt := sim.Options{Policy: core.Mosaic, Seed: 7, SnapshotWarmup: snapWarmup}
+
+	want := recordBytes(t, coldRun(t, base, cell, wl, opt))
+
+	for _, n := range []int{2, 4} {
+		sharded := opt
+		sharded.Shards = n
+		if got := recordBytes(t, coldRun(t, base, cell, wl, sharded)); !bytes.Equal(want, got) {
+			t.Errorf("cold two-phase run at Shards=%d deviates from sequential\nwant:\n%s\ngot:\n%s", n, want, got)
+		}
+		forked := forkRun(t, warmSnapshot(t, base, wl, sharded), cell)
+		if got := recordBytes(t, forked); !bytes.Equal(want, got) {
+			t.Errorf("forked run at Shards=%d deviates from sequential cold run\nwant:\n%s\ngot:\n%s", n, want, got)
+		}
+	}
+}
+
+// TestShardsClampAndDigest pins the clamping contract: shard counts
+// beyond the SM count (and below 2) run fine, produce the sequential
+// bytes, and sim.Digest ignores Shards entirely.
+func TestShardsClampAndDigest(t *testing.T) {
+	cfg := config.FastTest()
+	cfg.MaxWarpInstructions = 256
+	wl := mixWorkload(t, "CONS")
+	opt := sim.Options{Policy: core.Mosaic, Seed: 5}
+
+	want := recordBytes(t, runWithShards(t, cfg, wl, opt, 1))
+	for _, n := range []int{0, 64} {
+		if got := recordBytes(t, runWithShards(t, cfg, wl, opt, n)); !bytes.Equal(want, got) {
+			t.Errorf("Shards=%d deviates from sequential run", n)
+		}
+	}
+	d0 := sim.Digest(cfg, opt)
+	opt.Shards = 8
+	if d8 := sim.Digest(cfg, opt); d8 != d0 {
+		t.Errorf("sim.Digest varies with Shards: %s != %s", d8, d0)
+	}
+}

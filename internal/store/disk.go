@@ -13,6 +13,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync/atomic"
+	"time"
 )
 
 // entryExt is the extension of live entries; quarantined entries get
@@ -44,8 +46,17 @@ type header struct {
 // deterministic), so concurrent writers race harmlessly.
 type Disk struct {
 	root string
+	// quarKeep bounds retained quarantined files per shard directory
+	// (negative = unlimited); see SetQuarantineKeep.
+	quarKeep atomic.Int64
 	counters
 }
+
+// DefaultQuarantineKeep is the default per-shard retention bound for
+// quarantined entries: enough to inspect a corruption incident without
+// letting a recurring one (a flaky disk, a crashing writer) fill the
+// volume with damaged files.
+const DefaultQuarantineKeep = 8
 
 // NewDisk opens (creating if needed) a disk store rooted at dir.
 func NewDisk(dir string) (*Disk, error) {
@@ -55,8 +66,18 @@ func NewDisk(dir string) (*Disk, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: creating root: %w", err)
 	}
-	return &Disk{root: dir}, nil
+	d := &Disk{root: dir}
+	d.quarKeep.Store(DefaultQuarantineKeep)
+	return d, nil
 }
+
+// SetQuarantineKeep bounds how many quarantined files each shard
+// directory retains: after every successful quarantine, only the n
+// newest (by modification time) survive and the rest are deleted,
+// counted in Counters().QuarantinePruned. Negative n disables pruning
+// (unlimited retention); 0 deletes every quarantined file as soon as
+// the next one lands. Safe for concurrent use with store operations.
+func (s *Disk) SetQuarantineKeep(n int) { s.quarKeep.Store(int64(n)) }
 
 // Root returns the store's root directory.
 func (s *Disk) Root() string { return s.root }
@@ -126,11 +147,61 @@ func (s *Disk) readEntry(path string, key Key) ([]byte, error) {
 // quarantine moves a corrupt entry aside (path + ".quarantined") so it
 // is never served again but stays available for inspection. A rename
 // failure falls back to removal — a corrupt entry must not keep
-// resurfacing.
+// resurfacing. Only a successful rename counts as quarantined: on the
+// fallback path nothing was moved aside, so counting it would overstate
+// the number of inspectable files (and two daemons racing to quarantine
+// one entry would both count it).
 func (s *Disk) quarantine(path string) {
-	s.quarantined.Add(1)
 	if err := os.Rename(path, path+quarantineExt); err != nil {
 		os.Remove(path)
+		return
+	}
+	s.quarantined.Add(1)
+	s.pruneQuarantined(filepath.Dir(path))
+}
+
+// pruneQuarantined enforces the shard directory's retention bound:
+// only the newest QuarantineKeep quarantined files (by modification
+// time, name as tiebreak) survive; older ones are deleted and counted
+// as pruned. Unreadable directories or entries are skipped — pruning is
+// best-effort housekeeping, never an error a caller sees.
+func (s *Disk) pruneQuarantined(dir string) {
+	keep := int(s.quarKeep.Load())
+	if keep < 0 {
+		return
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	type qfile struct {
+		name string
+		mod  time.Time
+	}
+	var files []qfile
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), entryExt+quarantineExt) {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		files = append(files, qfile{e.Name(), info.ModTime()})
+	}
+	if len(files) <= keep {
+		return
+	}
+	sort.Slice(files, func(i, j int) bool {
+		if !files[i].mod.Equal(files[j].mod) {
+			return files[i].mod.After(files[j].mod)
+		}
+		return files[i].name > files[j].name
+	})
+	for _, f := range files[keep:] {
+		if os.Remove(filepath.Join(dir, f.name)) == nil {
+			s.pruned.Add(1)
+		}
 	}
 }
 

@@ -61,8 +61,12 @@ type Counters struct {
 	// between two producers of the same deterministic result).
 	Puts, DupPuts uint64
 	// Quarantined counts corrupt disk entries moved aside instead of
-	// served (always zero for the in-memory store).
+	// served (always zero for the in-memory store). Only successful
+	// renames count — an entry that had to be removed outright does not.
 	Quarantined uint64
+	// QuarantinePruned counts quarantined files deleted by the per-shard
+	// retention bound (Disk.SetQuarantineKeep).
+	QuarantinePruned uint64
 }
 
 // ResultStore is the persistence seam under the mosaicd result cache:
@@ -86,17 +90,18 @@ type ResultStore interface {
 
 // counters is the shared atomic counter block of the implementations.
 type counters struct {
-	gets, hits, puts, dupPuts, quarantined atomic.Uint64
+	gets, hits, puts, dupPuts, quarantined, pruned atomic.Uint64
 }
 
 // snapshot materializes the atomic block as a Counters value.
 func (c *counters) snapshot() Counters {
 	return Counters{
-		Gets:        c.gets.Load(),
-		Hits:        c.hits.Load(),
-		Puts:        c.puts.Load(),
-		DupPuts:     c.dupPuts.Load(),
-		Quarantined: c.quarantined.Load(),
+		Gets:             c.gets.Load(),
+		Hits:             c.hits.Load(),
+		Puts:             c.puts.Load(),
+		DupPuts:          c.dupPuts.Load(),
+		Quarantined:      c.quarantined.Load(),
+		QuarantinePruned: c.pruned.Load(),
 	}
 }
 

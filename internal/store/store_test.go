@@ -9,6 +9,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 func testKey(i int) Key {
@@ -293,5 +294,182 @@ func TestDiskSharding(t *testing.T) {
 	keys, err := s.List()
 	if err != nil || len(keys) != 9 {
 		t.Fatalf("list after quarantine: %d keys, %v", len(keys), err)
+	}
+}
+
+// TestQuarantineRenameFailureNotCounted pins the counter contract: a
+// quarantine whose rename fails (falling back to removal) must not
+// count as quarantined — nothing was moved aside to inspect. The rename
+// is made to fail deterministically (even running as root, where
+// permission bits don't apply) by planting a directory at the
+// quarantine destination: renaming a file onto a directory fails.
+func TestQuarantineRenameFailureNotCounted(t *testing.T) {
+	s, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey(11)
+	if err := s.Put(k, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s.path(k), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(s.path(k)+quarantineExt, 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := s.Get(k); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("corrupt get: %v, want ErrNotFound", err)
+	}
+	if c := s.Counters(); c.Quarantined != 0 {
+		t.Fatalf("failed rename counted as quarantined: %+v", c)
+	}
+	// The fallback removal still cleared the corrupt entry.
+	if _, err := os.Stat(s.path(k)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("corrupt entry still in place after fallback removal")
+	}
+}
+
+// TestQuarantineReadOnlyShardDir is the same contract under the failure
+// mode the bug shipped with: a shard directory the process cannot write
+// (so neither rename nor remove succeeds) must leave the counter at
+// zero. Root bypasses permission checks, so the case skips there — the
+// directory-destination test above covers root.
+func TestQuarantineReadOnlyShardDir(t *testing.T) {
+	if os.Geteuid() == 0 {
+		t.Skip("running as root: directory permissions don't block rename")
+	}
+	s, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey(12)
+	if err := s.Put(k, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s.path(k), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Dir(s.path(k))
+	if err := os.Chmod(dir, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.Chmod(dir, 0o755) })
+
+	if _, err := s.Get(k); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("corrupt get: %v, want ErrNotFound", err)
+	}
+	if c := s.Counters(); c.Quarantined != 0 {
+		t.Fatalf("unmovable entry counted as quarantined: %+v", c)
+	}
+}
+
+// sameShardKeys returns n keys whose entries land in one shard
+// directory of s, so their quarantined files compete under one
+// retention bound.
+func sameShardKeys(t *testing.T, s *Disk, n int) []Key {
+	t.Helper()
+	dir := filepath.Dir(s.path(testKey(0)))
+	keys := []Key{testKey(0)}
+	for i := 1; len(keys) < n; i++ {
+		if i > 100000 {
+			t.Fatal("no shard collision found")
+		}
+		if filepath.Dir(s.path(testKey(i))) == dir {
+			keys = append(keys, testKey(i))
+		}
+	}
+	return keys
+}
+
+// quarantinedFiles lists the quarantined file names under the shard
+// directory holding key k's entry.
+func quarantinedFiles(t *testing.T, s *Disk, k Key) []string {
+	t.Helper()
+	entries, err := os.ReadDir(filepath.Dir(s.path(k)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), entryExt+quarantineExt) {
+			names = append(names, e.Name())
+		}
+	}
+	return names
+}
+
+// TestQuarantineRetention: with a keep bound of 2, quarantining five
+// entries in one shard directory retains exactly the two newest (by
+// mtime, set explicitly so the order is deterministic) and counts the
+// other three as pruned.
+func TestQuarantineRetention(t *testing.T) {
+	s, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetQuarantineKeep(2)
+	keys := sameShardKeys(t, s, 5)
+	base := time.Now().Add(-time.Hour)
+	for i, k := range keys {
+		if err := s.Put(k, []byte("payload")); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(s.path(k), []byte("garbage"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		// Stamp each corrupt entry with a distinct, increasing mtime so
+		// "newest" is unambiguous once it becomes a quarantined file.
+		when := base.Add(time.Duration(i) * time.Minute)
+		if err := os.Chtimes(s.path(k), when, when); err != nil {
+			t.Fatal(err)
+		}
+		s.Get(k)
+	}
+
+	c := s.Counters()
+	if c.Quarantined != 5 || c.QuarantinePruned != 3 {
+		t.Fatalf("counters after 5 quarantines at keep=2: %+v", c)
+	}
+	got := quarantinedFiles(t, s, keys[0])
+	if len(got) != 2 {
+		t.Fatalf("retained %d quarantined files, want 2: %v", len(got), got)
+	}
+	want := map[string]bool{
+		filepath.Base(s.path(keys[3])) + quarantineExt: true,
+		filepath.Base(s.path(keys[4])) + quarantineExt: true,
+	}
+	for _, name := range got {
+		if !want[name] {
+			t.Fatalf("survivor %q is not one of the two newest", name)
+		}
+	}
+}
+
+// TestQuarantineRetentionUnlimited: a negative keep bound disables
+// pruning entirely.
+func TestQuarantineRetentionUnlimited(t *testing.T) {
+	s, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetQuarantineKeep(-1)
+	keys := sameShardKeys(t, s, 4)
+	for _, k := range keys {
+		if err := s.Put(k, []byte("payload")); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(s.path(k), []byte("garbage"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s.Get(k)
+	}
+	c := s.Counters()
+	if c.Quarantined != 4 || c.QuarantinePruned != 0 {
+		t.Fatalf("counters with unlimited retention: %+v", c)
+	}
+	if got := quarantinedFiles(t, s, keys[0]); len(got) != 4 {
+		t.Fatalf("retained %d quarantined files, want 4", len(got))
 	}
 }
