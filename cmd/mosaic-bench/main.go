@@ -26,6 +26,9 @@ import (
 	mosaic "repro"
 	"repro/internal/cliutil"
 	"repro/internal/metrics"
+
+	// Linking a policy package registers it with the policy registry.
+	_ "repro/internal/policies/fifoevict"
 )
 
 func main() {

@@ -29,12 +29,16 @@ import (
 
 	mosaic "repro"
 	"repro/internal/cliutil"
+
+	// Linking a policy package registers it; FIFO-MMU is the out-of-tree
+	// proof policy, selectable as -policy fifo-mmu.
+	_ "repro/internal/policies/fifoevict"
 )
 
 func main() {
 	var (
 		apps      = flag.String("apps", "HS,CONS", "comma-separated application names (see -list)")
-		policy    = flag.String("policy", "mosaic", "memory manager: gpummu | gpummu-2mb | mosaic | ideal | all")
+		policy    = flag.String("policy", "mosaic", "memory manager: "+strings.Join(mosaic.PolicyNames(), " | ")+" | all")
 		scale     = flag.Int("scale", 0, "working-set scale divisor (0 = config default)")
 		seed      = flag.Int64("seed", 42, "deterministic seed")
 		nopaging  = flag.Bool("nopaging", false, "disable demand paging (all data resident)")
@@ -296,25 +300,19 @@ type namedPolicy struct {
 	policy mosaic.Policy
 }
 
+// parsePolicies resolves the -policy flag through the shared registry
+// parser, so this CLI accepts every registered policy (including ones
+// linked in from outside internal/core) without its own name list.
 func parsePolicies(s string) ([]namedPolicy, error) {
-	switch s {
-	case "gpummu":
-		return []namedPolicy{{s, mosaic.GPUMMU4K}}, nil
-	case "gpummu-2mb":
-		return []namedPolicy{{s, mosaic.GPUMMU2M}}, nil
-	case "mosaic":
-		return []namedPolicy{{s, mosaic.Mosaic}}, nil
-	case "ideal":
-		return []namedPolicy{{s, mosaic.IdealTLB}}, nil
-	case "all":
-		return []namedPolicy{
-			{"gpummu", mosaic.GPUMMU4K},
-			{"gpummu-2mb", mosaic.GPUMMU2M},
-			{"mosaic", mosaic.Mosaic},
-			{"ideal", mosaic.IdealTLB},
-		}, nil
+	parsed, err := mosaic.ParsePolicyList(s)
+	if err != nil {
+		return nil, err
 	}
-	return nil, fmt.Errorf("unknown policy %q", s)
+	out := make([]namedPolicy, len(parsed))
+	for i, p := range parsed {
+		out[i] = namedPolicy{name: p.Wire, policy: p.Policy}
+	}
+	return out, nil
 }
 
 func report(r mosaic.Results) {

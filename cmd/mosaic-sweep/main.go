@@ -28,6 +28,10 @@ import (
 	"repro/internal/cliutil"
 	"repro/internal/harness"
 	"repro/internal/metrics"
+
+	// Linking a policy package registers it; FIFO-MMU is the out-of-tree
+	// proof policy, selectable via -policies fifo-mmu.
+	_ "repro/internal/policies/fifoevict"
 )
 
 func main() {
@@ -79,24 +83,19 @@ func main() {
 	}
 	wl := mosaic.Workload{Name: *apps, Apps: specs}
 
+	// The registry parser accepts every linked-in policy, so a manager
+	// registered outside internal/core sweeps like a built-in.
+	parsed, err := mosaic.ParsePolicyList(*policies)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	var pols []mosaic.Policy
 	var polNames, wireNames []string
-	for _, p := range strings.Split(*policies, ",") {
-		switch strings.TrimSpace(p) {
-		case "gpummu":
-			pols = append(pols, mosaic.GPUMMU4K)
-		case "gpummu-2mb":
-			pols = append(pols, mosaic.GPUMMU2M)
-		case "mosaic":
-			pols = append(pols, mosaic.Mosaic)
-		case "ideal":
-			pols = append(pols, mosaic.IdealTLB)
-		default:
-			fmt.Fprintf(os.Stderr, "unknown policy %q\n", p)
-			os.Exit(1)
-		}
-		polNames = append(polNames, pols[len(pols)-1].String())
-		wireNames = append(wireNames, strings.TrimSpace(p))
+	for _, p := range parsed {
+		pols = append(pols, p.Policy)
+		polNames = append(polNames, p.Policy.String())
+		wireNames = append(wireNames, p.Wire)
 	}
 
 	valStrs := strings.Split(*values, ",")

@@ -75,25 +75,15 @@ func (s *System) splinterAndCompact(now uint64, a *appState, asid vmem.ASID, reg
 		s.stats.MigratedPages++
 		s.trace.Record(trace.Event{Cycle: now, Kind: trace.EvMigration, ASID: asid, VA: va, Size: vmem.BasePageSize})
 
-		switch s.opt.CAC {
-		case CACIdeal:
-			// Zero-latency copy.
-		case CACBulkCopy:
-			if fin, err := s.mem.CopyPageBulk(now, mv.src, dstPA, nil); err == nil {
-				s.stats.BulkCopies++
-				if fin > last {
-					last = fin
-				}
-				continue
-			}
-			fallthrough
-		default:
-			if fin := s.mem.CopyPageNarrow(now, mv.src, dstPA, nil); fin > last {
-				last = fin
-			}
+		fin, bulk := s.cost.CopyPage(now, s.mem, mv.src, dstPA)
+		if bulk {
+			s.stats.BulkCopies++
+		}
+		if fin > last {
+			last = fin
 		}
 	}
-	if s.opt.CAC != CACIdeal {
+	if s.cost.Stalls() {
 		s.stall(last)
 	}
 	s.stats.Compactions++
@@ -160,24 +150,15 @@ func (s *System) compactFragmented(now uint64) bool {
 		}
 		dstPA := s.pool.Addr(dst)
 		s.stats.MigratedPages++
-		switch s.opt.CAC {
-		case CACIdeal:
-		case CACBulkCopy:
-			if fin, err := s.mem.CopyPageBulk(now, srcPA, dstPA, nil); err == nil {
-				s.stats.BulkCopies++
-				if fin > last {
-					last = fin
-				}
-				continue
-			}
-			fallthrough
-		default:
-			if fin := s.mem.CopyPageNarrow(now, srcPA, dstPA, nil); fin > last {
-				last = fin
-			}
+		fin, bulk := s.cost.CopyPage(now, s.mem, srcPA, dstPA)
+		if bulk {
+			s.stats.BulkCopies++
+		}
+		if fin > last {
+			last = fin
 		}
 	}
-	if s.opt.CAC != CACIdeal {
+	if s.cost.Stalls() {
 		s.stall(last)
 	}
 	s.stats.Compactions++

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/vmem"
+)
+
+// pagedRig builds a Mosaic system with a bounded residency budget and
+// warms it: one app, a working set larger than the budget, every faulted
+// unit landed. The returned rig has a live pager in steady state.
+func pagedRig(t *testing.T) *testRig {
+	t.Helper()
+	r := newRig(t, Mosaic, func(cfg *config.Config, opt *Options) {
+		cfg.MaxResidentPages = 4 * vmem.BasePagesPerLarge // four 2MB frames
+	})
+	if err := r.sys.RegisterApp(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.sys.AllocVirtual(0, 1, 0, 8*vmem.LargePageSize); err != nil {
+		t.Fatal(err)
+	}
+	now := uint64(1)
+	for i := uint64(0); i < 8; i++ {
+		r.sys.EnsureResident(now, 1, vmem.VirtAddr(i*vmem.LargePageSize), nil)
+		now += 1000
+		r.drain()
+	}
+	if r.sys.pager == nil {
+		t.Fatal("bounded config did not build a pager")
+	}
+	return r
+}
+
+// TestPolicySeamDispatchAllocFree guards the steady-state cost of the
+// extracted policy seams: once a System is built, consulting the
+// placement, coalesce, fill, and residency components must not allocate.
+// These interface calls sit on the translate/fault hot path, so a policy
+// implementation that allocates per query would show up in every run.
+func TestPolicySeamDispatchAllocFree(t *testing.T) {
+	r := pagedRig(t)
+	s := r.sys
+	p := s.pager
+	e := p.res.Victim()
+	if e == nil {
+		t.Fatal("warm pager has no victim")
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		_ = s.place.WholeFrame(true)
+		_ = s.coalp.Promote()
+		_ = s.coalp.CompactionEnabled()
+		_ = s.fill.Bypass()
+		_ = s.fill.LargeFill()
+		p.res.Touch(e)
+		if p.res.Victim() == nil {
+			t.Fatal("victim vanished")
+		}
+	}); avg != 0 {
+		t.Fatalf("policy seam dispatch allocates %.1f objects/op, want 0", avg)
+	}
+}
+
+// TestPagerResidentHitAllocFree guards the pager's warm path: touching an
+// already-resident page goes through ResidencyPolicy.Touch (an intrusive
+// list requeue) and must not allocate.
+func TestPagerResidentHitAllocFree(t *testing.T) {
+	r := pagedRig(t)
+	s := r.sys
+	// Find a resident address: the victim queue's back entry is resident.
+	e := s.pager.res.Victim()
+	if e == nil {
+		t.Fatal("warm pager has no victim")
+	}
+	va := e.VA()
+	if !s.EnsureResident(1<<20, 1, va, nil) {
+		t.Fatal("victim entry not resident")
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		if !s.EnsureResident(1<<20, 1, va, nil) {
+			t.Fatal("page fell out of residency during warm loop")
+		}
+	}); avg != 0 {
+		t.Fatalf("resident-hit fault path allocates %.1f objects/op, want 0", avg)
+	}
+}
+
+// TestLRUResidencyCloneOrder pins the Clone contract third-party
+// policies must honor: the clone preserves the source's exact victim
+// order over remapped entries (the snapshot-fork byte-identity
+// requirement from docs/ARCHITECTURE.md §7).
+func TestLRUResidencyCloneOrder(t *testing.T) {
+	res := NewLRUResidency()
+	entries := make([]*PageEntry, 4)
+	for i := range entries {
+		entries[i] = &PageEntry{asid: 1, key: uint64(i), pages: 1}
+		res.Insert(entries[i])
+	}
+	res.Touch(entries[0]) // victim order now 1, 2, 3, 0
+	clones := make(map[uint64]*PageEntry, len(entries))
+	for _, e := range entries {
+		clones[e.key] = &PageEntry{asid: e.asid, key: e.key, pages: e.pages}
+	}
+	cl := res.Clone(func(e *PageEntry) *PageEntry { return clones[e.key] })
+	for _, wantKey := range []uint64{1, 2, 3, 0} {
+		v := cl.Victim()
+		if v == nil {
+			t.Fatalf("clone ran out of victims before key %d", wantKey)
+		}
+		if v.Key() != wantKey {
+			t.Fatalf("clone victim key = %d, want %d", v.Key(), wantKey)
+		}
+		if v == entries[wantKey] {
+			t.Fatal("clone returned a source entry instead of its remapped copy")
+		}
+		cl.Remove(v)
+	}
+	// The source policy must be untouched by draining the clone.
+	if v := res.Victim(); v == nil || v.Key() != 1 {
+		t.Fatalf("source policy disturbed by clone drain: victim %+v", v)
+	}
+}

@@ -31,17 +31,14 @@ const (
 	IdealTLB
 )
 
-// String implements fmt.Stringer.
+// String implements fmt.Stringer: the registered display name
+// ("GPU-MMU", "Mosaic", a third-party policy's name), or "unknown" for
+// unregistered ids. This string is part of every ConfigDigest (Options
+// are hashed with %+v, which invokes String), so registered names are
+// frozen once results exist under them.
 func (p Policy) String() string {
-	switch p {
-	case GPUMMU4K:
-		return "GPU-MMU"
-	case GPUMMU2M:
-		return "GPU-MMU-2MB"
-	case Mosaic:
-		return "Mosaic"
-	case IdealTLB:
-		return "Ideal-TLB"
+	if spec, ok := LookupPolicy(p); ok {
+		return spec.Name
 	}
 	return "unknown"
 }
@@ -113,34 +110,14 @@ type Options struct {
 	FlushOnCoalesce bool
 }
 
-// OptionsFor returns the paper configuration for a policy under cfg.
+// OptionsFor returns the registered configuration for a policy under
+// cfg. Unregistered ids fall back to baseline-like zero options (the
+// pre-registry behavior); callers that want a typed error instead use
+// ResolveOptions.
 func OptionsFor(p Policy, cfg config.Config) Options {
-	o := Options{Policy: p, CACThreshold: cfg.CACOccupancyThreshold}
-	switch p {
-	case GPUMMU4K:
-		o.Allocator = AllocBaseline
-		o.Coalesce = CoalesceOff
-		o.CAC = CACOff
-		o.Fault = FaultBase
-	case GPUMMU2M:
-		o.Allocator = AllocCoCoA // 2MB-only management needs whole frames
-		o.Coalesce = CoalesceInPlace
-		o.CAC = CACOff
-		o.Fault = FaultLarge
-	case Mosaic:
-		o.Allocator = AllocCoCoA
-		o.Coalesce = CoalesceInPlace
-		o.CAC = CACOn
-		if cfg.CACUseBulkCopy {
-			o.CAC = CACBulkCopy
-		}
-		o.Fault = FaultBase
-	case IdealTLB:
-		o.Allocator = AllocCoCoA
-		o.Coalesce = CoalesceInPlace
-		o.CAC = CACOn
-		o.Fault = FaultBase
-		o.Bypass = true
+	o, err := ResolveOptions(p, cfg)
+	if err != nil {
+		return Options{Policy: p, CACThreshold: cfg.CACOccupancyThreshold}
 	}
 	return o
 }

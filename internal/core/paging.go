@@ -44,8 +44,11 @@ const (
 	pagePendingOut
 )
 
-// pageEntry is the pager's record of one paged unit.
-type pageEntry struct {
+// PageEntry is the pager's record of one paged unit — the value a
+// ResidencyPolicy orders for victim selection. Entries carry intrusive
+// list links so policies built on ResidencyQueue never allocate per
+// operation.
+type PageEntry struct {
 	asid  vmem.ASID
 	key   uint64 // faultKey: base or large page number
 	va    vmem.VirtAddr
@@ -60,9 +63,28 @@ type pageEntry struct {
 	// them (their budget was already released).
 	freed   bool
 	waiters []func(uint64)
-	// Intrusive LRU list links (only meaningful while resident).
-	prev, next *pageEntry
+	// Intrusive residency-queue links (only meaningful while resident).
+	prev, next *PageEntry
 }
+
+// ASID returns the owning application's address-space id.
+func (e *PageEntry) ASID() vmem.ASID { return e.asid }
+
+// Key returns the paged unit's fault key (base or large page number,
+// per the policy's fill granularity).
+func (e *PageEntry) Key() uint64 { return e.key }
+
+// VA returns the base-page-aligned virtual address of the unit's last
+// fault.
+func (e *PageEntry) VA() vmem.VirtAddr { return e.va }
+
+// Pages returns how many base pages the unit covers (1, or 512 under
+// large-page fill).
+func (e *PageEntry) Pages() uint64 { return e.pages }
+
+// Dirty reports whether the unit has been written since it became
+// resident (and so owes a write-back on eviction).
+func (e *PageEntry) Dirty() bool { return e.dirty }
 
 type pagerKey struct {
 	asid vmem.ASID
@@ -76,27 +98,29 @@ type pager struct {
 	s       *System
 	budget  uint64 // MaxResidentPages, in base pages
 	used    uint64 // base pages resident or committed to pending faults
-	entries map[pagerKey]*pageEntry
+	entries map[pagerKey]*PageEntry
 	// queued is the FIFO admission queue of faults waiting for capacity.
-	queued []*pageEntry
-	// lru is the sentinel of a doubly linked list of resident entries,
-	// most recently used at lru.next.
-	lru pageEntry
+	queued []*PageEntry
+	// res orders resident entries for victim selection (the policy's
+	// ResidencyPolicy; LRU by default).
+	res ResidencyPolicy
 }
 
 func newPager(s *System) *pager {
-	p := &pager{s: s, budget: s.cfg.MaxResidentPages, entries: make(map[pagerKey]*pageEntry)}
-	p.lru.next = &p.lru
-	p.lru.prev = &p.lru
-	return p
+	return &pager{
+		s:       s,
+		budget:  s.cfg.MaxResidentPages,
+		entries: make(map[pagerKey]*PageEntry),
+		res:     s.newRes(),
+	}
 }
 
 // clone deep-copies the pager for a forked manager ns. It requires the
 // pager to be quiescent — an empty admission queue and no entries in the
 // queued/pending-in/pending-out states, since transfers in flight hold
 // waiter closures bound to the source simulator — and panics otherwise.
-// Entries are duplicated and the intrusive LRU list is rebuilt over the
-// copies in the exact recency order of the source, so the fork's next
+// Entries are duplicated and the residency policy is cloned over the
+// copies in the exact victim order of the source, so the fork's next
 // eviction picks the same victim the source would have.
 func (p *pager) clone(ns *System) *pager {
 	if len(p.queued) != 0 {
@@ -106,10 +130,8 @@ func (p *pager) clone(ns *System) *pager {
 		s:       ns,
 		budget:  p.budget,
 		used:    p.used,
-		entries: make(map[pagerKey]*pageEntry, len(p.entries)),
+		entries: make(map[pagerKey]*PageEntry, len(p.entries)),
 	}
-	np.lru.next = &np.lru
-	np.lru.prev = &np.lru
 	for k, e := range p.entries {
 		switch e.state {
 		case pageQueued, pagePendingIn, pagePendingOut:
@@ -118,44 +140,15 @@ func (p *pager) clone(ns *System) *pager {
 		if len(e.waiters) != 0 {
 			panic("core: pager clone with waiters outstanding")
 		}
-		np.entries[k] = &pageEntry{
+		np.entries[k] = &PageEntry{
 			asid: e.asid, key: e.key, va: e.va, state: e.state,
 			dirty: e.dirty, pages: e.pages, evicted: e.evicted, freed: e.freed,
 		}
 	}
-	// Walk the source list MRU -> LRU, appending each clone at the tail so
-	// the copied list reads in the same order.
-	for e := p.lru.next; e != &p.lru; e = e.next {
-		ne := np.entries[pagerKey{e.asid, e.key}]
-		ne.prev = np.lru.prev
-		ne.next = &np.lru
-		ne.prev.next = ne
-		ne.next.prev = ne
-	}
+	np.res = p.res.Clone(func(e *PageEntry) *PageEntry {
+		return np.entries[pagerKey{e.asid, e.key}]
+	})
 	return np
-}
-
-// ---- LRU plumbing ----
-
-func (p *pager) pushFront(e *pageEntry) {
-	e.prev = &p.lru
-	e.next = p.lru.next
-	e.prev.next = e
-	e.next.prev = e
-}
-
-func (p *pager) unlink(e *pageEntry) {
-	if e.prev == nil {
-		return
-	}
-	e.prev.next = e.next
-	e.next.prev = e.prev
-	e.prev, e.next = nil, nil
-}
-
-func (p *pager) touch(e *pageEntry) {
-	p.unlink(e)
-	p.pushFront(e)
 }
 
 // pageDirty deterministically decides whether a page gets written while
@@ -177,7 +170,7 @@ func (p *pager) ensureResident(now uint64, a *appState, asid vmem.ASID, va vmem.
 	if e != nil {
 		switch e.state {
 		case pageResident:
-			p.touch(e)
+			p.res.Touch(e)
 			return true
 		case pageQueued, pagePendingIn:
 			e.waiters = append(e.waiters, done)
@@ -188,8 +181,8 @@ func (p *pager) ensureResident(now uint64, a *appState, asid vmem.ASID, va vmem.
 		// while the write-back drains is safe — the bus is FIFO, so the
 		// page-in transfer queues behind the outbound data.
 	} else {
-		e = &pageEntry{asid: asid, key: key, pages: 1}
-		if s.opt.Fault == FaultLarge {
+		e = &PageEntry{asid: asid, key: key, pages: 1}
+		if s.fill.LargeFill() {
 			e.pages = vmem.BasePagesPerLarge
 		}
 		p.entries[pagerKey{asid, key}] = e
@@ -221,7 +214,7 @@ func (p *pager) ensureResident(now uint64, a *appState, asid vmem.ASID, va vmem.
 
 // issue commits an admitted fault's budget and puts its transfer on the
 // bus. The caller has already verified the pages fit.
-func (p *pager) issue(now uint64, e *pageEntry) {
+func (p *pager) issue(now uint64, e *PageEntry) {
 	s := p.s
 	p.used += e.pages
 	if p.used > s.stats.PeakResidentPages {
@@ -229,7 +222,7 @@ func (p *pager) issue(now uint64, e *pageEntry) {
 	}
 	e.state = pagePendingIn
 	size := vmem.Base
-	if s.opt.Fault == FaultLarge {
+	if s.fill.LargeFill() {
 		size = vmem.Large
 	}
 	fin := s.bus.Transfer(now, size, func(cycle uint64) {
@@ -241,7 +234,7 @@ func (p *pager) issue(now uint64, e *pageEntry) {
 			if a, err := s.app(e.asid); err == nil {
 				a.resident[e.key] = true
 			}
-			p.pushFront(e)
+			p.res.Insert(e)
 		}
 		// The landed page is evictable, so capacity may now exist for
 		// faults the admission queue was holding back.
@@ -286,30 +279,30 @@ func (p *pager) admit(now uint64) {
 	}
 }
 
-// ensureCapacity evicts least-recently-used victims until pages more base
+// ensureCapacity evicts policy-selected victims until pages more base
 // pages fit in the budget, stopping early when nothing is resident.
 func (p *pager) ensureCapacity(now uint64, pages uint64) {
 	for p.used+pages > p.budget {
-		victim := p.lru.prev
-		if victim == &p.lru {
+		victim := p.res.Victim()
+		if victim == nil {
 			return // nothing resident to evict
 		}
 		p.evict(now, victim)
 	}
 }
 
-// evict pushes one LRU victim out of GPU memory. Under base-page fault
-// granularity a victim inside a coalesced Mosaic region takes its whole
-// 2MB frame with it: the frame's pages are interleaved physically, so
-// reclaiming contiguous space means evicting all of them — one large
-// write-back if any page is dirty. Residency is a tier below translation:
-// the mapping and coalesced status survive; only the data moves, and it
-// faults back page by page.
-func (p *pager) evict(now uint64, victim *pageEntry) {
+// evict pushes one policy-selected victim out of GPU memory. Under
+// base-page fault granularity a victim inside a coalesced Mosaic region
+// takes its whole 2MB frame with it: the frame's pages are interleaved
+// physically, so reclaiming contiguous space means evicting all of them —
+// one large write-back if any page is dirty. Residency is a tier below
+// translation: the mapping and coalesced status survive; only the data
+// moves, and it faults back page by page.
+func (p *pager) evict(now uint64, victim *PageEntry) {
 	s := p.s
-	group := []*pageEntry{victim}
+	group := []*PageEntry{victim}
 	size := vmem.Base
-	if s.opt.Fault == FaultLarge {
+	if s.fill.LargeFill() {
 		size = vmem.Large
 	} else if a, err := s.app(victim.asid); err == nil && a.table.IsCoalesced(victim.va) {
 		// Gather every resident sibling of the victim's 2MB region.
@@ -339,7 +332,7 @@ func (p *pager) evict(now uint64, victim *pageEntry) {
 		if e.dirty {
 			dirty = true
 		}
-		p.unlink(e)
+		p.res.Remove(e)
 		p.used -= e.pages
 		s.stats.EvictedPages += e.pages
 		e.evicted = true
@@ -385,7 +378,7 @@ func (p *pager) release(asid vmem.ASID, key uint64) {
 		p.used -= e.pages
 	}
 	e.freed = true
-	p.unlink(e)
+	p.res.Remove(e)
 	delete(p.entries, pagerKey{asid, key})
 }
 

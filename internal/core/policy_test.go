@@ -1,0 +1,113 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+)
+
+// TestPolicyTableRoundTrip is the single-table proof: wire name → Policy
+// → display name → registry lookup all round-trip through the one
+// PolicySpec table, and the built-in ids still match the exported
+// constants (the digest-compatibility contract).
+func TestPolicyTableRoundTrip(t *testing.T) {
+	builtins := []struct {
+		id   Policy
+		name string
+		wire string
+	}{
+		{GPUMMU4K, "GPU-MMU", "gpummu"},
+		{GPUMMU2M, "GPU-MMU-2MB", "gpummu-2mb"},
+		{Mosaic, "Mosaic", "mosaic"},
+		{IdealTLB, "Ideal-TLB", "ideal"},
+	}
+	for _, b := range builtins {
+		p, err := ParsePolicy(b.wire)
+		if err != nil {
+			t.Fatalf("ParsePolicy(%q): %v", b.wire, err)
+		}
+		if p != b.id {
+			t.Errorf("ParsePolicy(%q) = %v, want %v", b.wire, p, b.id)
+		}
+		if got := p.String(); got != b.name {
+			t.Errorf("%q.String() = %q, want %q (digest identity)", b.wire, got, b.name)
+		}
+		spec, ok := LookupPolicy(p)
+		if !ok {
+			t.Fatalf("LookupPolicy(%v) missing", p)
+		}
+		if spec.Name != b.name || spec.Wire != b.wire {
+			t.Errorf("spec for %v = (%q, %q), want (%q, %q)", p, spec.Name, spec.Wire, b.name, b.wire)
+		}
+	}
+	// Every registered wire name round-trips, whatever else is linked in.
+	for _, wire := range PolicyNames() {
+		p, err := ParsePolicy(wire)
+		if err != nil {
+			t.Fatalf("PolicyNames lists %q but ParsePolicy rejects it: %v", wire, err)
+		}
+		spec, ok := LookupPolicy(p)
+		if !ok || spec.Wire != wire {
+			t.Errorf("wire %q does not round-trip: spec %+v ok=%v", wire, spec, ok)
+		}
+	}
+}
+
+// TestPolicyUnknownFallbacks pins the behavior off the table's edge: an
+// unregistered id stringifies as "unknown" (the legacy enum fallback),
+// fails lookup, and resolves to a typed error; an unknown wire name
+// lists the known ones.
+func TestPolicyUnknownFallbacks(t *testing.T) {
+	p := Policy(99)
+	if got := p.String(); got != "unknown" {
+		t.Errorf("Policy(99).String() = %q, want unknown", got)
+	}
+	if _, ok := LookupPolicy(p); ok {
+		t.Error("LookupPolicy(99) succeeded")
+	}
+	if _, err := ResolveOptions(p, config.Default()); !errors.Is(err, ErrUnknownPolicy) {
+		t.Errorf("ResolveOptions(99) error = %v, want ErrUnknownPolicy", err)
+	}
+	_, err := ParsePolicy("bogus")
+	if !errors.Is(err, ErrUnknownPolicy) {
+		t.Fatalf("ParsePolicy(bogus) error = %v, want ErrUnknownPolicy", err)
+	}
+	for _, wire := range []string{"gpummu", "mosaic", "ideal"} {
+		if !strings.Contains(err.Error(), wire) {
+			t.Errorf("unknown-policy error %q does not list %q", err, wire)
+		}
+	}
+}
+
+// TestRegisterPolicyValidation pins the registration contract: specs
+// missing a name, wire name, or Options function are rejected, as are
+// duplicates of either name column.
+func TestRegisterPolicyValidation(t *testing.T) {
+	opts := func(config.Config) Options { return Options{} }
+	bad := []PolicySpec{
+		{Wire: "x", Options: opts},                          // no Name
+		{Name: "X", Options: opts},                          // no Wire
+		{Name: "X", Wire: "x"},                              // no Options
+		{Name: "Mosaic", Wire: "mosaic-dup", Options: opts}, // display dup
+		{Name: "Mosaic-Dup", Wire: "mosaic", Options: opts}, // wire dup
+	}
+	for i, spec := range bad {
+		if _, err := RegisterPolicy(spec); err == nil {
+			t.Errorf("bad spec %d accepted: %+v", i, spec)
+		}
+	}
+	// The rejections must not have grown the table.
+	for _, wire := range []string{"mosaic-dup", "x"} {
+		if _, err := ParsePolicy(wire); err == nil {
+			t.Errorf("rejected spec %q is resolvable", wire)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustRegisterPolicy on a bad spec did not panic")
+		}
+	}()
+	MustRegisterPolicy(PolicySpec{Name: "", Wire: "", Options: nil})
+}

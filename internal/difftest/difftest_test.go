@@ -1,0 +1,254 @@
+package difftest
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/policies/fifoevict"
+	"repro/internal/sim"
+)
+
+var update = flag.Bool("update", false, "rewrite the difftest-owned golden fixtures (never touches internal/metrics/testdata)")
+
+// metricsGolden reads a pinned fixture from internal/metrics/testdata —
+// the pre-refactor ground truth this package never rewrites.
+func metricsGolden(t *testing.T, slug string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join("..", "metrics", "testdata", "runrecord-"+slug+".golden.json"))
+	if err != nil {
+		t.Fatalf("reading metrics golden: %v", err)
+	}
+	return b
+}
+
+// fifoFixture is the difftest-owned matrix cell for the out-of-tree
+// FIFO-MMU policy: the same oversubscribed workload as the pinned
+// oversub-2x cells, so its victim schedule is directly comparable to
+// Mosaic's LRU one.
+func fifoFixture() Fixture {
+	return Fixture{
+		Slug: "oversub-2x-fifo", Policy: fifoevict.PolicyID,
+		Apps: []string{"SWP-S", "SWP-D"}, MaxWarpInstructions: 1024,
+		Oversub: 2,
+	}
+}
+
+// fifoGolden reads (or, under -update, records) the difftest-owned
+// FIFO-MMU golden.
+func fifoGolden(t *testing.T) []byte {
+	t.Helper()
+	path := filepath.Join("testdata", "runrecord-oversub-2x-fifo.golden.json")
+	if *update {
+		fx := fifoFixture()
+		cfg, wl, err := fx.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := RecordBytes(cfg, wl, sim.Options{Policy: fx.Policy, Seed: Seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading fifo golden (run with -update to create): %v", err)
+	}
+	return b
+}
+
+// TestDifferentialMatrix replays every pinned fixture through the
+// registry-dispatched policies at shard counts 1 and 4 and demands the
+// RunRecord bytes match the pre-refactor goldens exactly. This is the
+// headline proof that extracting the policy seams changed nothing: same
+// schedule, same counters, same digest, byte for byte.
+func TestDifferentialMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential matrix is long under -short")
+	}
+	for _, fx := range MetricsFixtures() {
+		want := metricsGolden(t, fx.Slug)
+		for _, shards := range []int{1, 4} {
+			fx, shards := fx, shards
+			t.Run(fx.Slug+"/shards="+string(rune('0'+shards)), func(t *testing.T) {
+				t.Parallel()
+				cfg, wl, err := fx.Build()
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := RecordBytes(cfg, wl, sim.Options{Policy: fx.Policy, Seed: Seed, Shards: shards})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Errorf("registry-dispatched %s (shards=%d) is not byte-identical to the pinned golden;\n"+
+						"the policy pipeline no longer reproduces pre-refactor behavior.\ngot:\n%s", fx.Slug, shards, got)
+				}
+			})
+		}
+	}
+}
+
+// TestDifferentialMatrixJobs runs the whole fixture matrix concurrently
+// through the harness worker pool (the -jobs axis) and demands each
+// record still matches its golden: policy dispatch state must be
+// per-simulator, never shared across concurrent runs.
+func TestDifferentialMatrixJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential matrix is long under -short")
+	}
+	fixtures := append(MetricsFixtures(), fifoFixture())
+	wants := make([][]byte, len(fixtures))
+	for i, fx := range fixtures {
+		if fx.Slug == "oversub-2x-fifo" {
+			wants[i] = fifoGolden(t)
+		} else {
+			wants[i] = metricsGolden(t, fx.Slug)
+		}
+	}
+	got := make([][]byte, len(fixtures))
+	errs := make([]error, len(fixtures))
+	r := harness.NewRunner(8)
+	defer r.Close()
+	for i, fx := range fixtures {
+		i, fx := i, fx
+		r.Submit(func() {
+			cfg, wl, err := fx.Build()
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			got[i], errs[i] = RecordBytes(cfg, wl, sim.Options{Policy: fx.Policy, Seed: Seed})
+		})
+	}
+	r.Wait()
+	for i, fx := range fixtures {
+		if errs[i] != nil {
+			t.Errorf("%s: %v", fx.Slug, errs[i])
+			continue
+		}
+		if !bytes.Equal(got[i], wants[i]) {
+			t.Errorf("%s under jobs=8 deviates from its golden", fx.Slug)
+		}
+	}
+}
+
+// TestSnapshotForkDifferential pins the snapshot-fork axis: a two-phase
+// plan run cold must be byte-identical to the same plan forked from a
+// warmed snapshot, for built-ins and for the out-of-tree FIFO policy
+// (whose ResidencyPolicy.Clone participates in the fork).
+func TestSnapshotForkDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential matrix is long under -short")
+	}
+	cells := []Fixture{
+		{Slug: "mix4-mosaic", Policy: core.Mosaic, Apps: []string{"HS", "CONS", "BFS2", "RED"}, MaxWarpInstructions: 128},
+		{Slug: "mix4-gpummu2m", Policy: core.GPUMMU2M, Apps: []string{"HS", "CONS", "BFS2", "RED"}, MaxWarpInstructions: 128},
+		{Slug: "oversub-2x-mosaic", Policy: core.Mosaic, Apps: []string{"SWP-S", "SWP-D"}, MaxWarpInstructions: 1024, Oversub: 2},
+		fifoFixture(),
+	}
+	for _, fx := range cells {
+		fx := fx
+		t.Run(fx.Slug, func(t *testing.T) {
+			t.Parallel()
+			cfg, wl, err := fx.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt := sim.Options{Policy: fx.Policy, Seed: Seed, SnapshotWarmup: 20000}
+			cold, err := RecordBytes(cfg, wl, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			forked, err := ForkRecordBytes(cfg, wl, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(cold, forked) {
+				t.Errorf("forked two-phase run of %s deviates from the cold run:\ncold:\n%s\nforked:\n%s", fx.Slug, cold, forked)
+			}
+		})
+	}
+}
+
+// TestFIFOPolicyDiffers pins the out-of-tree policy's own golden (at
+// shards 1 and 4) and proves it is a genuinely different manager: its
+// record must differ from Mosaic's on the identical workload, and its
+// digest identity must be distinct.
+func TestFIFOPolicyDiffers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential matrix is long under -short")
+	}
+	want := fifoGolden(t)
+	fx := fifoFixture()
+	cfg, wl, err := fx.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 4} {
+		got, err := RecordBytes(cfg, wl, sim.Options{Policy: fx.Policy, Seed: Seed, Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("FIFO-MMU record (shards=%d) deviates from its golden:\n%s", shards, got)
+		}
+	}
+	if mosaicGolden := metricsGolden(t, "oversub-2x-mosaic"); bytes.Equal(want, mosaicGolden) {
+		t.Error("FIFO-MMU record is identical to Mosaic's: the residency seam is not being dispatched")
+	}
+	if dFifo, dMosaic := sim.Digest(cfg, sim.Options{Policy: fx.Policy, Seed: Seed}),
+		sim.Digest(cfg, sim.Options{Policy: core.Mosaic, Seed: Seed}); dFifo == dMosaic {
+		t.Errorf("FIFO-MMU shares Mosaic's config digest %s; policy identity must key the digest", dFifo)
+	}
+}
+
+// TestDigestsDistinctAcrossPolicies proves every registered policy keeps
+// a distinct ConfigDigest under one configuration — registry names feed
+// the digest exactly like the old enum's String() did.
+func TestDigestsDistinctAcrossPolicies(t *testing.T) {
+	fx := fifoFixture()
+	cfg, _, err := fx.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]core.Policy)
+	for _, wire := range core.PolicyNames() {
+		p, err := core.ParsePolicy(wire)
+		if err != nil {
+			t.Fatalf("registry lists %q but ParsePolicy rejects it: %v", wire, err)
+		}
+		d := sim.Digest(cfg, sim.Options{Policy: p, Seed: Seed})
+		if prev, dup := seen[d]; dup {
+			t.Errorf("policies %v and %v share digest %s", prev, p, d)
+		}
+		seen[d] = p
+	}
+}
+
+// TestUnknownPolicyIsTypedError pins the error contract: an unregistered
+// policy id surfaces core.ErrUnknownPolicy from the simulator
+// constructor instead of silently running baseline-like options (or
+// panicking).
+func TestUnknownPolicyIsTypedError(t *testing.T) {
+	fx := MetricsFixtures()[0]
+	cfg, wl, err := fx.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sim.New(cfg, wl, sim.Options{Policy: core.Policy(97), Seed: Seed})
+	if !errors.Is(err, core.ErrUnknownPolicy) {
+		t.Fatalf("sim.New with unregistered policy: got %v, want core.ErrUnknownPolicy", err)
+	}
+}

@@ -1,0 +1,42 @@
+package harness
+
+import (
+	"strings"
+
+	"repro/internal/core"
+)
+
+// NamedPolicy pairs a policy id with the wire name it was requested
+// under — the name CLIs echo back and campaign requests carry.
+type NamedPolicy struct {
+	// Wire is the registry wire name ("mosaic", "gpummu-2mb", ...).
+	Wire string
+	// Policy is the resolved policy id.
+	Policy core.Policy
+}
+
+// ParsePolicies parses a comma-separated -policy flag value against the
+// core policy registry, so mosaic-sim and mosaic-sweep accept exactly the
+// same names (including policies registered outside internal/core, once
+// their package is linked into the binary). The special value "all"
+// expands to the four paper managers. Unknown names return an error
+// wrapping core.ErrUnknownPolicy that lists the registered names.
+func ParsePolicies(s string) ([]NamedPolicy, error) {
+	var out []NamedPolicy
+	for _, part := range strings.Split(s, ",") {
+		name := strings.TrimSpace(part)
+		if name == "all" {
+			for _, p := range []core.Policy{core.GPUMMU4K, core.GPUMMU2M, core.Mosaic, core.IdealTLB} {
+				spec, _ := core.LookupPolicy(p)
+				out = append(out, NamedPolicy{Wire: spec.Wire, Policy: p})
+			}
+			continue
+		}
+		p, err := core.ParsePolicy(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, NamedPolicy{Wire: name, Policy: p})
+	}
+	return out, nil
+}

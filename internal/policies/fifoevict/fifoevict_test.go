@@ -1,0 +1,99 @@
+package fifoevict
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+)
+
+// TestRegistered proves the side-effect registration: linking this
+// package makes "fifo-mmu" parseable, distinct from the built-ins, and
+// resolvable to options.
+func TestRegistered(t *testing.T) {
+	p, err := core.ParsePolicy("fifo-mmu")
+	if err != nil {
+		t.Fatalf("ParsePolicy(fifo-mmu): %v", err)
+	}
+	if p != PolicyID {
+		t.Fatalf("ParsePolicy(fifo-mmu) = %v, want %v", p, PolicyID)
+	}
+	if got := p.String(); got != "FIFO-MMU" {
+		t.Fatalf("String() = %q, want FIFO-MMU", got)
+	}
+	if p == core.Mosaic {
+		t.Fatal("FIFO-MMU collided with the Mosaic id")
+	}
+	if _, err := core.ResolveOptions(p, config.FastTest()); err != nil {
+		t.Fatalf("ResolveOptions: %v", err)
+	}
+	if _, err := core.ParsePolicy("fifo-mmu-nope"); !errors.Is(err, core.ErrUnknownPolicy) {
+		t.Fatalf("near-miss wire name parsed: %v", err)
+	}
+}
+
+// TestFIFOOrder pins the policy's semantics: victims come out in
+// insertion order and Touch is a no-op (unlike LRU, a re-referenced page
+// stays first in line for eviction).
+func TestFIFOOrder(t *testing.T) {
+	res := NewResidency()
+	a, b, c := &core.PageEntry{}, &core.PageEntry{}, &core.PageEntry{}
+	res.Insert(a)
+	res.Insert(b)
+	res.Insert(c)
+	res.Touch(a) // must NOT move a out of the victim slot
+	for _, want := range []*core.PageEntry{a, b, c} {
+		v := res.Victim()
+		if v != want {
+			t.Fatalf("victim order broke FIFO: got %p, want %p", v, want)
+		}
+		res.Remove(v)
+	}
+	if res.Victim() != nil {
+		t.Fatal("drained queue still yields a victim")
+	}
+}
+
+// TestCloneOrder pins the registry's Clone contract for this policy: the
+// clone replays the same victim order over remapped entries and leaves
+// the source untouched.
+func TestCloneOrder(t *testing.T) {
+	res := NewResidency()
+	src := []*core.PageEntry{{}, {}, {}}
+	remap := map[*core.PageEntry]*core.PageEntry{}
+	for _, e := range src {
+		res.Insert(e)
+		remap[e] = &core.PageEntry{}
+	}
+	cl := res.Clone(func(e *core.PageEntry) *core.PageEntry { return remap[e] })
+	for _, want := range src {
+		v := cl.Victim()
+		if v != remap[want] {
+			t.Fatalf("clone victim = %p, want remapped %p", v, remap[want])
+		}
+		cl.Remove(v)
+	}
+	if v := res.Victim(); v != src[0] {
+		t.Fatalf("source disturbed by clone drain: victim %p, want %p", v, src[0])
+	}
+}
+
+// TestSteadyStateAllocFree guards the residency hot path: once entries
+// exist, Insert/Touch/Victim/Remove ride the intrusive links and must
+// not allocate (the same bar the in-tree LRU policy is held to).
+func TestSteadyStateAllocFree(t *testing.T) {
+	res := NewResidency()
+	entries := []*core.PageEntry{{}, {}, {}, {}}
+	for _, e := range entries {
+		res.Insert(e)
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		res.Touch(entries[2])
+		v := res.Victim()
+		res.Remove(v)
+		res.Insert(v)
+	}); avg != 0 {
+		t.Fatalf("steady-state residency ops allocate %.1f objects/op, want 0", avg)
+	}
+}

@@ -52,19 +52,16 @@ type job struct {
 }
 
 // ParsePolicy maps a wire policy name (the mosaic-sim -policy values) to
-// the memory manager it selects. Empty selects Mosaic.
+// the memory manager it selects, resolving against the core policy
+// registry so third-party registered policies are accepted too. Empty
+// selects Mosaic. Unknown names return an error wrapping
+// core.ErrUnknownPolicy.
 func ParsePolicy(name string) (core.Policy, error) {
-	switch strings.TrimSpace(name) {
-	case "gpummu":
-		return core.GPUMMU4K, nil
-	case "gpummu-2mb":
-		return core.GPUMMU2M, nil
-	case "mosaic", "":
+	name = strings.TrimSpace(name)
+	if name == "" {
 		return core.Mosaic, nil
-	case "ideal":
-		return core.IdealTLB, nil
 	}
-	return 0, fmt.Errorf("unknown policy %q (want gpummu, gpummu-2mb, mosaic, or ideal)", name)
+	return core.ParsePolicy(name)
 }
 
 // buildJob resolves a request against the server's base configuration;

@@ -342,7 +342,13 @@ func New(cfg config.Config, wl workload.Workload, opt Options) (*Simulator, erro
 	s.bus = iobus.New(cfg, s.q)
 	s.mem = dram.New(cfg, s.q)
 
-	mopt := core.OptionsFor(opt.Policy, cfg)
+	mopt, err := core.ResolveOptions(opt.Policy, cfg)
+	if err != nil {
+		// Unregistered policy ids are a caller bug, not a config to run:
+		// surface the typed core.ErrUnknownPolicy instead of silently
+		// simulating baseline-like options.
+		return nil, fmt.Errorf("sim: %w", err)
+	}
 	if opt.MutateManager != nil {
 		opt.MutateManager(&mopt)
 	}

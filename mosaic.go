@@ -69,6 +69,78 @@ const (
 	IdealTLB = core.IdealTLB
 )
 
+// Policy pipeline: managers are compositions over five seam interfaces
+// (placement, coalesce, fill, migration cost, residency) resolved through
+// a name-keyed registry. Third-party policies register with
+// RegisterPolicy and then work everywhere a built-in does — mosaic-sim
+// -policy, RunRequest.Policy, sweeps, campaigns — with their display name
+// feeding the ConfigDigest exactly like the built-in names do.
+type (
+	// PolicySpec describes one registered policy: display name (feeds
+	// RunRecord.Policy and the ConfigDigest), wire name (flags/API),
+	// option derivation, and optional seam-component overrides.
+	PolicySpec = core.PolicySpec
+	// PolicyComponents is one policy's composition across the seams;
+	// nil fields fall back to the option-derived defaults.
+	PolicyComponents = core.Components
+	// PlacementPolicy decides whole-frame vs base-page backing.
+	PlacementPolicy = core.PlacementPolicy
+	// CoalescePolicy decides large-page promotion and compaction.
+	CoalescePolicy = core.CoalescePolicy
+	// FillPolicy decides translation bypass and paging granularity.
+	FillPolicy = core.FillPolicy
+	// CostModel prices page migrations (CAC and ablations).
+	CostModel = core.CostModel
+	// ResidencyPolicy orders resident pages for victim selection under
+	// a bounded GPU page pool.
+	ResidencyPolicy = core.ResidencyPolicy
+	// PageEntry is one paged unit as seen by a ResidencyPolicy.
+	PageEntry = core.PageEntry
+	// ResidencyQueue is the allocation-free intrusive list residency
+	// policies order victims with.
+	ResidencyQueue = core.ResidencyQueue
+	// NamedPolicy pairs a resolved Policy with the wire name it was
+	// requested under (the ParsePolicyList result element).
+	NamedPolicy = harness.NamedPolicy
+)
+
+// ErrUnknownPolicy is wrapped by every policy-name resolution failure
+// (ParsePolicy, ParsePolicyList, NewSimulator with an unregistered id);
+// test with errors.Is.
+var ErrUnknownPolicy = core.ErrUnknownPolicy
+
+// RegisterPolicy adds a policy to the registry and returns its id; it
+// fails on duplicate names. Register from an init function (or a
+// package-level variable) so the policy exists before flags parse.
+func RegisterPolicy(spec PolicySpec) (Policy, error) { return core.RegisterPolicy(spec) }
+
+// MustRegisterPolicy is RegisterPolicy, panicking on error.
+func MustRegisterPolicy(spec PolicySpec) Policy { return core.MustRegisterPolicy(spec) }
+
+// ParsePolicy resolves one wire policy name against the registry.
+func ParsePolicy(name string) (Policy, error) { return core.ParsePolicy(name) }
+
+// ParsePolicyList parses a comma-separated -policy flag value ("all" =
+// the four paper managers) against the registry.
+func ParsePolicyList(s string) ([]NamedPolicy, error) { return harness.ParsePolicies(s) }
+
+// PolicyNames returns the registered wire names in registration order.
+func PolicyNames() []string { return core.PolicyNames() }
+
+// LookupPolicy returns the registered spec for a policy id.
+func LookupPolicy(p Policy) (PolicySpec, bool) { return core.LookupPolicy(p) }
+
+// DefaultPolicyComponents derives the component set a ManagerOptions
+// value describes — the building blocks custom policies override
+// piecemeal.
+func DefaultPolicyComponents(opt ManagerOptions) PolicyComponents {
+	return core.DefaultComponents(opt)
+}
+
+// NewLRUResidency returns the default least-recently-used residency
+// policy.
+func NewLRUResidency() ResidencyPolicy { return core.NewLRUResidency() }
+
 // ManagerOptions exposes the full memory-manager option set, including
 // the ablation knobs (migrating coalescer, forced TLB flush on coalesce,
 // CAC variants). Use SimOptions.MutateManager to adjust them per run.
